@@ -1,0 +1,67 @@
+#ifndef CULEVO_BENCH_BENCH_COMMON_H_
+#define CULEVO_BENCH_BENCH_COMMON_H_
+
+// Shared scaffolding for the paper-reproduction benchmark binaries.
+//
+// Every binary accepts:
+//   --scale <0..1>   fraction of Table-I recipe counts (default 0.25)
+//   --replicas <n>   simulation replicas (default 20; paper uses 100)
+//   --seed <n>       master seed (default 42)
+// and prints the table/figure series it reproduces to stdout.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "corpus/recipe_corpus.h"
+#include "lexicon/world_lexicon.h"
+#include "synth/generator.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+
+namespace culevo::bench {
+
+struct BenchOptions {
+  double scale = 0.25;
+  int replicas = 20;
+  uint64_t seed = 42;
+  FlagParser flags;
+};
+
+/// Parses common flags; exits the process on malformed command lines.
+inline BenchOptions ParseOptions(int argc, char** argv) {
+  BenchOptions options;
+  if (Status s = options.flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s << "\n";
+    std::exit(1);
+  }
+  options.scale = options.flags.GetDouble("scale", options.scale);
+  options.replicas =
+      static_cast<int>(options.flags.GetInt("replicas", options.replicas));
+  options.seed =
+      static_cast<uint64_t>(options.flags.GetInt("seed", 42));
+  return options;
+}
+
+/// Synthesizes the calibrated world corpus, logging the wall time.
+inline RecipeCorpus MakeWorld(const BenchOptions& options) {
+  SynthConfig config;
+  config.scale = options.scale;
+  config.seed = options.seed;
+  Stopwatch timer;
+  Result<RecipeCorpus> corpus =
+      SynthesizeWorldCorpus(WorldLexicon(), config);
+  if (!corpus.ok()) {
+    std::cerr << "world synthesis failed: " << corpus.status() << "\n";
+    std::exit(1);
+  }
+  std::printf("# world corpus: %zu recipes (scale %.2f) in %.2fs\n",
+              corpus->num_recipes(), options.scale,
+              timer.ElapsedSeconds());
+  return std::move(corpus).value();
+}
+
+}  // namespace culevo::bench
+
+#endif  // CULEVO_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,83 @@
+// Reproduces Fig. 1: the recipe-size distribution of each of the 25 world
+// cuisines and of the aggregated corpus.
+//
+// Paper-shape expectations: every distribution is Gaussian-like (low
+// total-variation error against a fitted Gaussian), bounded between 2 and
+// 38 ingredients, with a global mean around 9.
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/summary.h"
+#include "bench/bench_common.h"
+#include "corpus/corpus_stats.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace culevo;
+
+void PrintHistogramRow(const std::vector<size_t>& histogram, size_t total) {
+  // Compact sparkline-style rendering over sizes 2..38.
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  double max_frac = 0.0;
+  for (size_t s = 0; s < histogram.size(); ++s) {
+    max_frac = std::max(max_frac, static_cast<double>(histogram[s]) /
+                                      static_cast<double>(total));
+  }
+  std::printf("  |");
+  for (size_t s = 2; s <= 38; ++s) {
+    const double frac =
+        s < histogram.size()
+            ? static_cast<double>(histogram[s]) / static_cast<double>(total)
+            : 0.0;
+    const int level =
+        max_frac <= 0.0
+            ? 0
+            : static_cast<int>(7.999 * frac / max_frac);
+    std::printf("%s", kLevels[level]);
+  }
+  std::printf("|\n");
+}
+
+int Run(int argc, char** argv) {
+  bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  const RecipeCorpus corpus = bench::MakeWorld(options);
+
+  std::printf("\n== Fig. 1: recipe size distributions ==\n\n");
+  TablePrinter table({"Cuisine", "mean", "stddev", "min", "max",
+                      "Gaussian TV-error"});
+
+  const std::vector<CuisineStats> stats = ComputeCuisineStats(corpus);
+  int bounded = 0;
+  int gaussian_like = 0;
+  for (const CuisineStats& s : stats) {
+    if (s.num_recipes == 0) continue;
+    const GaussianFit fit = FitGaussianToHistogram(s.size_histogram);
+    if (s.min_recipe_size >= 2 && s.max_recipe_size <= 38) ++bounded;
+    if (fit.tv_error < 0.15) ++gaussian_like;
+    table.AddRow({std::string(CuisineAt(s.cuisine).code),
+                  TablePrinter::Num(s.mean_recipe_size, 2),
+                  TablePrinter::Num(fit.stddev, 2),
+                  std::to_string(s.min_recipe_size),
+                  std::to_string(s.max_recipe_size),
+                  TablePrinter::Num(fit.tv_error, 3)});
+  }
+  table.Print(std::cout);
+
+  const std::vector<size_t> aggregate = AggregateSizeHistogram(corpus);
+  const GaussianFit fit = FitGaussianToHistogram(aggregate);
+  std::printf("\nAggregate (inset): mean %.2f (paper ~9), stddev %.2f, "
+              "Gaussian TV-error %.3f\n",
+              fit.mean, fit.stddev, fit.tv_error);
+  std::printf("Aggregate size histogram, sizes 2..38:\n");
+  PrintHistogramRow(aggregate, corpus.num_recipes());
+  std::printf("\nBounded in [2, 38]: %d/25 cuisines; Gaussian-like "
+              "(TV-error < 0.15): %d/25\n",
+              bounded, gaussian_like);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -1,0 +1,72 @@
+// Engineering benchmark: throughput of the two frequent-itemset miners on
+// corpus-shaped transaction sets (google-benchmark). Eclat is the default
+// miner in the reproduction pipeline; Apriori is the cross-check reference.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/apriori.h"
+#include "analysis/combinations.h"
+#include "analysis/eclat.h"
+#include "analysis/transactions.h"
+#include "corpus/cuisine.h"
+#include "lexicon/world_lexicon.h"
+#include "synth/generator.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace culevo;
+
+/// One mid-sized cuisine's transactions at the given corpus scale.
+TransactionSet MakeTransactions(double scale) {
+  static const RecipeCorpus& corpus = []() -> const RecipeCorpus& {
+    SynthConfig config;
+    config.scale = 0.25;
+    Result<RecipeCorpus> made = SynthesizeWorldCorpus(WorldLexicon(), config);
+    CULEVO_CHECK_OK(made.status());
+    return *new RecipeCorpus(std::move(made).value());
+  }();
+  const CuisineId cuisine = CuisineFromCode("FRA").value();
+  TransactionSet all = IngredientTransactions(corpus, cuisine);
+  TransactionSet subset;
+  const size_t keep =
+      static_cast<size_t>(static_cast<double>(all.size()) * scale);
+  for (size_t i = 0; i < keep; ++i) {
+    subset.Add(std::vector<Item>(all.transaction(i)));
+  }
+  return subset;
+}
+
+void BM_Eclat(benchmark::State& state) {
+  const TransactionSet transactions =
+      MakeTransactions(static_cast<double>(state.range(0)) / 100.0);
+  const size_t support = AbsoluteSupport(transactions.size(), 0.05);
+  size_t itemsets = 0;
+  for (auto _ : state) {
+    itemsets = MineEclat(transactions, support).size();
+    benchmark::DoNotOptimize(itemsets);
+  }
+  state.counters["transactions"] =
+      static_cast<double>(transactions.size());
+  state.counters["itemsets"] = static_cast<double>(itemsets);
+}
+BENCHMARK(BM_Eclat)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_Apriori(benchmark::State& state) {
+  const TransactionSet transactions =
+      MakeTransactions(static_cast<double>(state.range(0)) / 100.0);
+  const size_t support = AbsoluteSupport(transactions.size(), 0.05);
+  size_t itemsets = 0;
+  for (auto _ : state) {
+    itemsets = MineApriori(transactions, support).size();
+    benchmark::DoNotOptimize(itemsets);
+  }
+  state.counters["transactions"] =
+      static_cast<double>(transactions.size());
+  state.counters["itemsets"] = static_cast<double>(itemsets);
+}
+BENCHMARK(BM_Apriori)->Arg(25)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Engineering benchmark: recipe-evolution throughput of the culinary
+// evolution models (google-benchmark). One iteration evolves a full
+// cuisine-sized recipe pool.
+
+#include <benchmark/benchmark.h>
+
+#include "core/copy_mutate.h"
+#include "core/null_model.h"
+#include "corpus/cuisine.h"
+#include "lexicon/world_lexicon.h"
+#include "synth/generator.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace culevo;
+
+const RecipeCorpus& SharedCorpus() {
+  static const RecipeCorpus& corpus = []() -> const RecipeCorpus& {
+    SynthConfig config;
+    config.scale = 0.25;
+    Result<RecipeCorpus> made = SynthesizeWorldCorpus(WorldLexicon(), config);
+    CULEVO_CHECK_OK(made.status());
+    return *new RecipeCorpus(std::move(made).value());
+  }();
+  return corpus;
+}
+
+CuisineContext SharedContext() {
+  Result<CuisineContext> context =
+      ContextFromCorpus(SharedCorpus(), CuisineFromCode("ITA").value());
+  CULEVO_CHECK_OK(context.status());
+  return std::move(context).value();
+}
+
+void RunModel(benchmark::State& state, const EvolutionModel& model) {
+  const CuisineContext context = SharedContext();
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    GeneratedRecipes recipes;
+    CULEVO_CHECK_OK(model.Generate(context, seed++, &recipes));
+    benchmark::DoNotOptimize(recipes.size());
+  }
+  state.counters["recipes_per_run"] =
+      static_cast<double>(context.target_recipes);
+}
+
+void BM_CmR(benchmark::State& state) {
+  RunModel(state, *MakeCmR(&WorldLexicon()));
+}
+BENCHMARK(BM_CmR);
+
+void BM_CmC(benchmark::State& state) {
+  RunModel(state, *MakeCmC(&WorldLexicon()));
+}
+BENCHMARK(BM_CmC);
+
+void BM_CmM(benchmark::State& state) {
+  RunModel(state, *MakeCmM(&WorldLexicon()));
+}
+BENCHMARK(BM_CmM);
+
+void BM_NullModel(benchmark::State& state) {
+  const NullModel model;
+  RunModel(state, model);
+}
+BENCHMARK(BM_NullModel);
+
+void BM_WorldSynthesis(benchmark::State& state) {
+  SynthConfig config;
+  config.scale = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    Result<RecipeCorpus> corpus =
+        SynthesizeWorldCorpus(WorldLexicon(), config);
+    CULEVO_CHECK_OK(corpus.status());
+    benchmark::DoNotOptimize(corpus->num_recipes());
+  }
+}
+BENCHMARK(BM_WorldSynthesis)->Arg(10)->Arg(25);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Engineering benchmark: end-to-end experiment-pipeline throughput —
+// world synthesis + context extraction + empirical mining + one full
+// model evaluation (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "core/copy_mutate.h"
+#include "core/evaluator.h"
+#include "core/null_model.h"
+#include "corpus/cuisine.h"
+#include "lexicon/world_lexicon.h"
+#include "synth/generator.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace culevo;
+
+const RecipeCorpus& PipelineCorpus() {
+  static const RecipeCorpus& corpus = []() -> const RecipeCorpus& {
+    SynthConfig config;
+    config.scale = 0.25;
+    Result<RecipeCorpus> made = SynthesizeWorldCorpus(WorldLexicon(), config);
+    CULEVO_CHECK_OK(made.status());
+    return *new RecipeCorpus(std::move(made).value());
+  }();
+  return corpus;
+}
+
+void BM_ContextExtraction(benchmark::State& state) {
+  const CuisineId ita = CuisineFromCode("ITA").value();
+  for (auto _ : state) {
+    Result<CuisineContext> context = ContextFromCorpus(PipelineCorpus(), ita);
+    CULEVO_CHECK_OK(context.status());
+    benchmark::DoNotOptimize(context->ingredients.size());
+  }
+}
+BENCHMARK(BM_ContextExtraction);
+
+void BM_EmpiricalCurve(benchmark::State& state) {
+  const CuisineId ita = CuisineFromCode("ITA").value();
+  for (auto _ : state) {
+    const RankFrequency curve =
+        IngredientCombinationCurve(PipelineCorpus(), ita);
+    benchmark::DoNotOptimize(curve.size());
+  }
+}
+BENCHMARK(BM_EmpiricalCurve);
+
+void BM_EvaluateCuisineOneModel(benchmark::State& state) {
+  const Lexicon& lexicon = WorldLexicon();
+  const CuisineId ita = CuisineFromCode("ITA").value();
+  const auto cm_m = MakeCmM(&lexicon);
+  SimulationConfig config;
+  config.replicas = static_cast<int>(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    config.seed = seed++;
+    Result<CuisineEvaluation> evaluation = EvaluateCuisine(
+        PipelineCorpus(), ita, lexicon, {cm_m.get()}, config);
+    CULEVO_CHECK_OK(evaluation.status());
+    benchmark::DoNotOptimize(evaluation->scores[0].mae_ingredient);
+  }
+  state.counters["replicas"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_EvaluateCuisineOneModel)->Arg(1)->Arg(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,246 @@
+// culevo_cli: the kitchen-sink command-line tool an open-source release
+// ships. Subcommands:
+//
+//   culevo_cli stats                       world corpus statistics
+//   culevo_cli evaluate --cuisine ITA      model comparison for a cuisine
+//   culevo_cli generate --cuisine INSC     novel recipe proposals
+//   culevo_cli ingest <raw.txt>            ingest raw scraped recipes
+//   culevo_cli export-corpus <out.tsv>     write a synthetic world corpus
+//   culevo_cli export-lexicon <out.tsv>    write the 721-entity lexicon
+//
+// Common flags: --scale, --replicas, --seed (as in the bench harness).
+
+#include <iostream>
+
+#include "analysis/overrepresentation.h"
+#include "core/copy_mutate.h"
+#include "core/evaluator.h"
+#include "core/null_model.h"
+#include "core/recipe_generator.h"
+#include "corpus/corpus_io.h"
+#include "corpus/corpus_stats.h"
+#include "corpus/ingestion.h"
+#include "lexicon/lexicon_io.h"
+#include "lexicon/world_lexicon.h"
+#include "synth/generator.h"
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/strings.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace culevo;
+
+int Usage() {
+  std::cerr
+      << "usage: culevo_cli <stats|evaluate|generate|ingest|export-corpus|"
+         "export-lexicon> [flags]\n";
+  return 2;
+}
+
+Result<RecipeCorpus> World(const FlagParser& flags) {
+  SynthConfig config;
+  config.scale = flags.GetDouble("scale", 0.25);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  return SynthesizeWorldCorpus(WorldLexicon(), config);
+}
+
+int RunStats(const FlagParser& flags) {
+  Result<RecipeCorpus> corpus = World(flags);
+  if (!corpus.ok()) {
+    std::cerr << corpus.status() << "\n";
+    return 1;
+  }
+  const Lexicon& lexicon = WorldLexicon();
+  TablePrinter table(
+      {"Cuisine", "Recipes", "Ingredients", "Mean size", "Top ingredient"});
+  const std::vector<CuisineStats> stats = ComputeCuisineStats(*corpus);
+  for (const CuisineStats& s : stats) {
+    const auto top = TopOverrepresented(*corpus, s.cuisine, 1);
+    table.AddRow({std::string(CuisineAt(s.cuisine).code),
+                  std::to_string(s.num_recipes),
+                  std::to_string(s.num_unique_ingredients),
+                  TablePrinter::Num(s.mean_recipe_size, 2),
+                  top.empty() ? "-" : lexicon.name(top[0].ingredient)});
+  }
+  table.Print(std::cout);
+  return 0;
+}
+
+int RunEvaluate(const FlagParser& flags) {
+  Result<RecipeCorpus> corpus = World(flags);
+  if (!corpus.ok()) {
+    std::cerr << corpus.status() << "\n";
+    return 1;
+  }
+  Result<CuisineId> cuisine =
+      CuisineFromCode(flags.GetString("cuisine", "ITA"));
+  if (!cuisine.ok()) {
+    std::cerr << cuisine.status() << "\n";
+    return 1;
+  }
+  const Lexicon& lexicon = WorldLexicon();
+  const auto cm_r = MakeCmR(&lexicon);
+  const auto cm_c = MakeCmC(&lexicon);
+  const auto cm_m = MakeCmM(&lexicon);
+  const NullModel nm;
+  SimulationConfig config;
+  config.replicas = static_cast<int>(flags.GetInt("replicas", 10));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  Result<CuisineEvaluation> evaluation = EvaluateCuisine(
+      *corpus, cuisine.value(), lexicon,
+      {cm_r.get(), cm_c.get(), cm_m.get(), &nm}, config);
+  if (!evaluation.ok()) {
+    std::cerr << evaluation.status() << "\n";
+    return 1;
+  }
+  TablePrinter table({"Model", "MAE ingredient", "MAE category"});
+  for (const ModelScore& score : evaluation->scores) {
+    table.AddRow({score.model, TablePrinter::Num(score.mae_ingredient, 4),
+                  TablePrinter::Num(score.mae_category, 4)});
+  }
+  table.Print(std::cout);
+  std::cout << "winner: "
+            << evaluation->scores[evaluation->BestByIngredientMae()].model
+            << "\n";
+  return 0;
+}
+
+int RunGenerate(const FlagParser& flags) {
+  Result<RecipeCorpus> corpus = World(flags);
+  if (!corpus.ok()) {
+    std::cerr << corpus.status() << "\n";
+    return 1;
+  }
+  Result<CuisineId> cuisine =
+      CuisineFromCode(flags.GetString("cuisine", "ITA"));
+  if (!cuisine.ok()) {
+    std::cerr << cuisine.status() << "\n";
+    return 1;
+  }
+  const Lexicon& lexicon = WorldLexicon();
+  Result<RecipeGenerator> generator = RecipeGenerator::Create(
+      &corpus.value(), cuisine.value(), &lexicon,
+      static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  if (!generator.ok()) {
+    std::cerr << generator.status() << "\n";
+    return 1;
+  }
+  GenerationConstraints constraints;
+  constraints.target_size = static_cast<int>(flags.GetInt("size", 9));
+  Result<std::vector<NovelRecipe>> batch = generator->GenerateBatch(
+      constraints, static_cast<int>(flags.GetInt("count", 3)));
+  if (!batch.ok()) {
+    std::cerr << batch.status() << "\n";
+    return 1;
+  }
+  for (const NovelRecipe& recipe : batch.value()) {
+    std::vector<std::string> names;
+    for (IngredientId id : recipe.ingredients) {
+      names.push_back(lexicon.name(id));
+    }
+    std::cout << Join(names, ", ") << "\n  (typicality "
+              << TablePrinter::Num(recipe.typicality, 2) << ", novelty "
+              << TablePrinter::Num(recipe.novelty, 2) << ")\n";
+  }
+  return 0;
+}
+
+int RunIngest(const FlagParser& flags) {
+  if (flags.positional().size() < 2) {
+    std::cerr << "usage: culevo_cli ingest <raw.txt> [--out corpus.tsv]\n";
+    return 2;
+  }
+  Result<std::string> text = ReadFileToString(flags.positional()[1]);
+  if (!text.ok()) {
+    std::cerr << text.status() << "\n";
+    return 1;
+  }
+  const std::vector<RawRecipe> raw = ParseRawRecipeText(text.value());
+  IngestionReport report;
+  Result<RecipeCorpus> corpus =
+      IngestRawRecipes(raw, WorldLexicon(), &report);
+  if (!corpus.ok()) {
+    std::cerr << corpus.status() << "\n";
+    return 1;
+  }
+  std::cout << "recipes: " << report.recipes_ingested << " ingested, "
+            << report.recipes_dropped << " dropped\n"
+            << "lines:   " << report.lines_resolved << "/" << report.lines_in
+            << " resolved ("
+            << TablePrinter::Num(100.0 * report.line_resolution_rate(), 1)
+            << "%)\n";
+  if (!report.unresolved_mentions.empty()) {
+    std::cout << "top unresolved mentions:\n";
+    for (size_t i = 0; i < report.unresolved_mentions.size() && i < 10;
+         ++i) {
+      std::cout << "  " << report.unresolved_mentions[i].first << " x"
+                << report.unresolved_mentions[i].second << "\n";
+    }
+  }
+  const std::string out = flags.GetString("out", "");
+  if (!out.empty()) {
+    if (Status s = WriteCorpusTsv(out, *corpus, WorldLexicon()); !s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+    std::cout << "corpus written to " << out << "\n";
+  }
+  return 0;
+}
+
+int RunExportCorpus(const FlagParser& flags) {
+  if (flags.positional().size() < 2) {
+    std::cerr << "usage: culevo_cli export-corpus <out.tsv>\n";
+    return 2;
+  }
+  Result<RecipeCorpus> corpus = World(flags);
+  if (!corpus.ok()) {
+    std::cerr << corpus.status() << "\n";
+    return 1;
+  }
+  if (Status s = WriteCorpusTsv(flags.positional()[1], *corpus,
+                                WorldLexicon());
+      !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::cout << corpus->num_recipes() << " recipes written to "
+            << flags.positional()[1] << "\n";
+  return 0;
+}
+
+int RunExportLexicon(const FlagParser& flags) {
+  if (flags.positional().size() < 2) {
+    std::cerr << "usage: culevo_cli export-lexicon <out.tsv>\n";
+    return 2;
+  }
+  if (Status s = WriteLexiconTsv(flags.positional()[1], WorldLexicon());
+      !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::cout << WorldLexicon().size() << " entities written to "
+            << flags.positional()[1] << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s << "\n";
+    return 2;
+  }
+  if (flags.positional().empty()) return Usage();
+  const std::string& command = flags.positional()[0];
+  if (command == "stats") return RunStats(flags);
+  if (command == "evaluate") return RunEvaluate(flags);
+  if (command == "generate") return RunGenerate(flags);
+  if (command == "ingest") return RunIngest(flags);
+  if (command == "export-corpus") return RunExportCorpus(flags);
+  if (command == "export-lexicon") return RunExportLexicon(flags);
+  return Usage();
+}

@@ -1,0 +1,110 @@
+#include "analysis/apriori.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace culevo {
+namespace {
+
+/// True if sorted `needle` is a subsequence-subset of sorted `haystack`.
+bool ContainsAll(const std::vector<Item>& haystack,
+                 const std::vector<Item>& needle) {
+  size_t i = 0;
+  for (Item item : haystack) {
+    if (i == needle.size()) break;
+    if (item == needle[i]) ++i;
+  }
+  return i == needle.size();
+}
+
+/// Candidate generation: joins pairs of frequent (k-1)-itemsets sharing a
+/// (k-2)-prefix, then prunes candidates with an infrequent (k-1)-subset.
+std::vector<std::vector<Item>> GenerateCandidates(
+    const std::vector<std::vector<Item>>& frequent_prev) {
+  std::unordered_map<std::vector<Item>, bool, SequenceHash<Item>>
+      frequent_lookup;
+  for (const std::vector<Item>& itemset : frequent_prev) {
+    frequent_lookup.emplace(itemset, true);
+  }
+
+  std::vector<std::vector<Item>> candidates;
+  for (size_t a = 0; a < frequent_prev.size(); ++a) {
+    for (size_t b = a + 1; b < frequent_prev.size(); ++b) {
+      const std::vector<Item>& x = frequent_prev[a];
+      const std::vector<Item>& y = frequent_prev[b];
+      // frequent_prev is sorted, so a shared prefix means x < y with only
+      // the last element differing.
+      if (!std::equal(x.begin(), x.end() - 1, y.begin(), y.end() - 1)) {
+        continue;
+      }
+      std::vector<Item> candidate = x;
+      candidate.push_back(y.back());
+      // Prune: every (k-1)-subset must be frequent.
+      bool all_subsets_frequent = true;
+      // (Dropping the last element gives x, frequent by construction.)
+      for (size_t drop = 0; drop + 1 < candidate.size(); ++drop) {
+        std::vector<Item> test = candidate;
+        test.erase(test.begin() + static_cast<long>(drop));
+        if (frequent_lookup.find(test) == frequent_lookup.end()) {
+          all_subsets_frequent = false;
+          break;
+        }
+      }
+      if (all_subsets_frequent) candidates.push_back(std::move(candidate));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+}  // namespace
+
+std::vector<Itemset> MineApriori(const TransactionSet& transactions,
+                                 size_t min_support_count) {
+  if (min_support_count == 0) min_support_count = 1;
+  std::vector<Itemset> result;
+
+  // Level 1: count singletons.
+  std::vector<size_t> single_counts(transactions.item_universe(), 0);
+  for (const std::vector<Item>& t : transactions.transactions()) {
+    for (Item item : t) ++single_counts[item];
+  }
+  std::vector<std::vector<Item>> frequent;
+  for (size_t item = 0; item < single_counts.size(); ++item) {
+    if (single_counts[item] >= min_support_count) {
+      frequent.push_back({static_cast<Item>(item)});
+      result.push_back(
+          Itemset{{static_cast<Item>(item)}, single_counts[item]});
+    }
+  }
+
+  // Levels k >= 2.
+  while (!frequent.empty()) {
+    const std::vector<std::vector<Item>> candidates =
+        GenerateCandidates(frequent);
+    if (candidates.empty()) break;
+    std::vector<size_t> counts(candidates.size(), 0);
+    for (const std::vector<Item>& t : transactions.transactions()) {
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        if (candidates[c].size() <= t.size() &&
+            ContainsAll(t, candidates[c])) {
+          ++counts[c];
+        }
+      }
+    }
+    frequent.clear();
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      if (counts[c] >= min_support_count) {
+        frequent.push_back(candidates[c]);
+        result.push_back(Itemset{candidates[c], counts[c]});
+      }
+    }
+  }
+
+  std::sort(result.begin(), result.end(), ItemsetLess);
+  return result;
+}
+
+}  // namespace culevo

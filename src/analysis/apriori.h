@@ -1,0 +1,21 @@
+#ifndef CULEVO_ANALYSIS_APRIORI_H_
+#define CULEVO_ANALYSIS_APRIORI_H_
+
+#include <vector>
+
+#include "analysis/transactions.h"
+
+namespace culevo {
+
+/// Level-wise Apriori frequent-itemset mining (Agrawal & Srikant 1994).
+///
+/// Returns every itemset of size >= 1 whose support (number of containing
+/// transactions) is >= `min_support_count`, sorted with ItemsetLess.
+/// `min_support_count` of 0 is treated as 1. Reference implementation used
+/// to cross-check the faster Eclat miner; prefer MineEclat on large data.
+std::vector<Itemset> MineApriori(const TransactionSet& transactions,
+                                 size_t min_support_count);
+
+}  // namespace culevo
+
+#endif  // CULEVO_ANALYSIS_APRIORI_H_

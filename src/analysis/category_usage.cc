@@ -1,0 +1,52 @@
+#include "analysis/category_usage.h"
+
+namespace culevo {
+
+std::vector<double> PerRecipeCategoryCounts(const RecipeCorpus& corpus,
+                                            CuisineId cuisine,
+                                            Category category,
+                                            const Lexicon& lexicon) {
+  std::vector<double> out;
+  const std::vector<uint32_t>& indices = corpus.recipes_of(cuisine);
+  out.reserve(indices.size());
+  for (uint32_t index : indices) {
+    int count = 0;
+    for (IngredientId id : corpus.ingredients_of(index)) {
+      if (lexicon.category(id) == category) ++count;
+    }
+    out.push_back(static_cast<double>(count));
+  }
+  return out;
+}
+
+std::vector<std::array<double, kNumCategories>> CategoryUsageMatrix(
+    const RecipeCorpus& corpus, const Lexicon& lexicon) {
+  std::vector<std::array<double, kNumCategories>> matrix(
+      kNumCuisines, std::array<double, kNumCategories>{});
+  for (int c = 0; c < kNumCuisines; ++c) {
+    const CuisineId cuisine = static_cast<CuisineId>(c);
+    const std::vector<uint32_t>& indices = corpus.recipes_of(cuisine);
+    if (indices.empty()) continue;
+    std::array<size_t, kNumCategories> totals{};
+    for (uint32_t index : indices) {
+      for (IngredientId id : corpus.ingredients_of(index)) {
+        ++totals[static_cast<int>(lexicon.category(id))];
+      }
+    }
+    for (int k = 0; k < kNumCategories; ++k) {
+      matrix[static_cast<size_t>(c)][static_cast<size_t>(k)] =
+          static_cast<double>(totals[static_cast<size_t>(k)]) /
+          static_cast<double>(indices.size());
+    }
+  }
+  return matrix;
+}
+
+BoxplotStats CategoryUsageBoxplot(const RecipeCorpus& corpus,
+                                  CuisineId cuisine, Category category,
+                                  const Lexicon& lexicon) {
+  return ComputeBoxplotStats(
+      PerRecipeCategoryCounts(corpus, cuisine, category, lexicon));
+}
+
+}  // namespace culevo

@@ -1,0 +1,55 @@
+#ifndef CULEVO_ANALYSIS_COMBINATIONS_H_
+#define CULEVO_ANALYSIS_COMBINATIONS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/rank_frequency.h"
+#include "analysis/transactions.h"
+#include "corpus/recipe_corpus.h"
+#include "lexicon/lexicon.h"
+
+namespace culevo {
+
+/// Which frequent-itemset algorithm to run.
+enum class MinerKind {
+  kEclat,    ///< Vertical bitset miner; default, fast.
+  kApriori,  ///< Level-wise reference miner.
+};
+
+/// Parameters of the paper's combination analysis (Section IV): itemsets of
+/// size >= 1 appearing in at least `min_relative_support` of a cuisine's
+/// recipes (the paper uses 5%).
+struct CombinationConfig {
+  double min_relative_support = 0.05;
+  MinerKind miner = MinerKind::kEclat;
+};
+
+/// Converts a relative support into an absolute transaction count
+/// (ceiling, at least 1).
+size_t AbsoluteSupport(size_t num_transactions, double min_relative_support);
+
+/// Mines all frequent combinations of a transaction set.
+std::vector<Itemset> MineCombinations(const TransactionSet& transactions,
+                                      const CombinationConfig& config = {});
+
+/// The popularity (rank-frequency) curve of a transaction set's frequent
+/// combinations: supports normalized by the transaction count, sorted
+/// descending — one point per frequent itemset (Fig. 3 / Fig. 4).
+RankFrequency CombinationCurve(const TransactionSet& transactions,
+                               const CombinationConfig& config = {});
+
+/// Fig. 3(a): ingredient-combination curve of one cuisine.
+RankFrequency IngredientCombinationCurve(const RecipeCorpus& corpus,
+                                         CuisineId cuisine,
+                                         const CombinationConfig& config = {});
+
+/// Fig. 3(b): category-combination curve of one cuisine.
+RankFrequency CategoryCombinationCurve(const RecipeCorpus& corpus,
+                                       CuisineId cuisine,
+                                       const Lexicon& lexicon,
+                                       const CombinationConfig& config = {});
+
+}  // namespace culevo
+
+#endif  // CULEVO_ANALYSIS_COMBINATIONS_H_

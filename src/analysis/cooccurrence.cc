@@ -1,0 +1,86 @@
+#include "analysis/cooccurrence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/hash.h"
+
+namespace culevo {
+namespace {
+
+uint64_t PairKey(IngredientId a, IngredientId b) {
+  return (static_cast<uint64_t>(a) << 16) | static_cast<uint64_t>(b);
+}
+
+}  // namespace
+
+std::vector<PairingEdge> BuildPairingNetwork(const RecipeCorpus& corpus,
+                                             CuisineId cuisine,
+                                             size_t min_cooccurrences) {
+  if (min_cooccurrences == 0) min_cooccurrences = 1;
+  const std::vector<uint32_t>& indices = corpus.recipes_of(cuisine);
+  if (indices.empty()) return {};
+
+  std::vector<size_t> singles(kInvalidIngredient, 0);
+  std::unordered_map<uint64_t, size_t> pairs;
+  for (uint32_t index : indices) {
+    const std::span<const IngredientId> recipe =
+        corpus.ingredients_of(index);
+    for (size_t i = 0; i < recipe.size(); ++i) {
+      ++singles[recipe[i]];
+      for (size_t j = i + 1; j < recipe.size(); ++j) {
+        // Ids inside a recipe are sorted ascending, so recipe[i] <
+        // recipe[j] and the key is canonical.
+        ++pairs[PairKey(recipe[i], recipe[j])];
+      }
+    }
+  }
+
+  const double n = static_cast<double>(indices.size());
+  std::vector<PairingEdge> edges;
+  edges.reserve(pairs.size());
+  for (const auto& [key, count] : pairs) {
+    if (count < min_cooccurrences) continue;
+    PairingEdge edge;
+    edge.a = static_cast<IngredientId>(key >> 16);
+    edge.b = static_cast<IngredientId>(key & 0xFFFF);
+    edge.cooccurrences = count;
+    const double p_ab = static_cast<double>(count) / n;
+    const double p_a = static_cast<double>(singles[edge.a]) / n;
+    const double p_b = static_cast<double>(singles[edge.b]) / n;
+    edge.pmi = std::log2(p_ab / (p_a * p_b));
+    edges.push_back(edge);
+  }
+
+  std::sort(edges.begin(), edges.end(),
+            [](const PairingEdge& x, const PairingEdge& y) {
+              if (x.pmi != y.pmi) return x.pmi > y.pmi;
+              if (x.cooccurrences != y.cooccurrences) {
+                return x.cooccurrences > y.cooccurrences;
+              }
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return edges;
+}
+
+std::vector<PairingPartner> TopPartners(const RecipeCorpus& corpus,
+                                        CuisineId cuisine,
+                                        IngredientId ingredient, size_t k,
+                                        size_t min_cooccurrences) {
+  std::vector<PairingPartner> partners;
+  for (const PairingEdge& edge :
+       BuildPairingNetwork(corpus, cuisine, min_cooccurrences)) {
+    if (edge.a != ingredient && edge.b != ingredient) continue;
+    PairingPartner partner;
+    partner.partner = edge.a == ingredient ? edge.b : edge.a;
+    partner.cooccurrences = edge.cooccurrences;
+    partner.pmi = edge.pmi;
+    partners.push_back(partner);
+    if (partners.size() == k) break;  // Edges already PMI-sorted.
+  }
+  return partners;
+}
+
+}  // namespace culevo

@@ -1,0 +1,102 @@
+#include "analysis/eclat.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+
+namespace culevo {
+namespace {
+
+/// Fixed-width bitset over transaction ids with popcount support.
+class TidSet {
+ public:
+  explicit TidSet(size_t num_transactions)
+      : words_((num_transactions + 63) / 64, 0) {}
+
+  void Set(size_t tid) { words_[tid >> 6] |= (uint64_t{1} << (tid & 63)); }
+
+  size_t Count() const {
+    size_t total = 0;
+    for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
+    return total;
+  }
+
+  /// this := a AND b. All three must have equal width.
+  void AssignAnd(const TidSet& a, const TidSet& b) {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      words_[i] = a.words_[i] & b.words_[i];
+    }
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+struct Node {
+  Item item;
+  TidSet tids;
+  size_t support;
+};
+
+void Mine(const std::vector<Node>& siblings, std::vector<Item>* prefix,
+          size_t num_transactions, size_t min_support,
+          std::vector<Itemset>* out) {
+  for (size_t i = 0; i < siblings.size(); ++i) {
+    const Node& node = siblings[i];
+    prefix->push_back(node.item);
+    out->push_back(Itemset{*prefix, node.support});
+
+    // Extend with later siblings (items are in ascending order).
+    std::vector<Node> children;
+    for (size_t j = i + 1; j < siblings.size(); ++j) {
+      TidSet intersection(num_transactions);
+      intersection.AssignAnd(node.tids, siblings[j].tids);
+      const size_t support = intersection.Count();
+      if (support >= min_support) {
+        children.push_back(
+            Node{siblings[j].item, std::move(intersection), support});
+      }
+    }
+    if (!children.empty()) {
+      Mine(children, prefix, num_transactions, min_support, out);
+    }
+    prefix->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Itemset> MineEclat(const TransactionSet& transactions,
+                               size_t min_support_count) {
+  if (min_support_count == 0) min_support_count = 1;
+  const size_t n = transactions.size();
+
+  // Vertical representation: one tid-bitset per item.
+  std::vector<size_t> counts(transactions.item_universe(), 0);
+  for (const std::vector<Item>& t : transactions.transactions()) {
+    for (Item item : t) ++counts[item];
+  }
+  std::vector<Node> roots;
+  std::vector<int32_t> node_of_item(transactions.item_universe(), -1);
+  for (size_t item = 0; item < counts.size(); ++item) {
+    if (counts[item] >= min_support_count) {
+      node_of_item[item] = static_cast<int32_t>(roots.size());
+      roots.push_back(
+          Node{static_cast<Item>(item), TidSet(n), counts[item]});
+    }
+  }
+  for (size_t tid = 0; tid < n; ++tid) {
+    for (Item item : transactions.transaction(tid)) {
+      const int32_t node = node_of_item[item];
+      if (node >= 0) roots[static_cast<size_t>(node)].tids.Set(tid);
+    }
+  }
+
+  std::vector<Itemset> result;
+  std::vector<Item> prefix;
+  Mine(roots, &prefix, n, min_support_count, &result);
+  std::sort(result.begin(), result.end(), ItemsetLess);
+  return result;
+}
+
+}  // namespace culevo

@@ -1,0 +1,78 @@
+#include "analysis/network_stats.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace culevo {
+
+NetworkStats ComputeNetworkStats(const std::vector<PairingEdge>& edges) {
+  NetworkStats stats;
+
+  // Canonicalize: unique undirected edges, no self-loops.
+  std::set<std::pair<IngredientId, IngredientId>> unique_edges;
+  for (const PairingEdge& edge : edges) {
+    if (edge.a == edge.b) continue;
+    unique_edges.emplace(std::min(edge.a, edge.b),
+                         std::max(edge.a, edge.b));
+  }
+  stats.num_edges = unique_edges.size();
+  if (unique_edges.empty()) return stats;
+
+  // Adjacency (sorted neighbor lists keyed by node).
+  std::map<IngredientId, std::vector<IngredientId>> adjacency;
+  for (const auto& [a, b] : unique_edges) {
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+  }
+  stats.num_nodes = adjacency.size();
+
+  size_t degree_total = 0;
+  size_t triples = 0;
+  for (auto& [node, neighbors] : adjacency) {
+    std::sort(neighbors.begin(), neighbors.end());
+    const size_t degree = neighbors.size();
+    degree_total += degree;
+    stats.max_degree = std::max(stats.max_degree, degree);
+    if (degree >= stats.degree_histogram.size()) {
+      stats.degree_histogram.resize(degree + 1, 0);
+    }
+    ++stats.degree_histogram[degree];
+    triples += degree * (degree - 1) / 2;
+  }
+  stats.mean_degree =
+      static_cast<double>(degree_total) / static_cast<double>(stats.num_nodes);
+  const double possible = static_cast<double>(stats.num_nodes) *
+                          static_cast<double>(stats.num_nodes - 1) / 2.0;
+  stats.density =
+      possible > 0.0 ? static_cast<double>(stats.num_edges) / possible : 0.0;
+
+  // Triangle count: for each edge (a, b), intersect neighbor lists.
+  size_t triangle_ends = 0;  // Each triangle counted 3 times (per edge).
+  for (const auto& [a, b] : unique_edges) {
+    const std::vector<IngredientId>& na = adjacency[a];
+    const std::vector<IngredientId>& nb = adjacency[b];
+    size_t i = 0;
+    size_t j = 0;
+    while (i < na.size() && j < nb.size()) {
+      if (na[i] == nb[j]) {
+        ++triangle_ends;
+        ++i;
+        ++j;
+      } else if (na[i] < nb[j]) {
+        ++i;
+      } else {
+        ++j;
+      }
+    }
+  }
+  const size_t triangles = triangle_ends / 3;
+  stats.clustering =
+      triples > 0
+          ? 3.0 * static_cast<double>(triangles) / static_cast<double>(triples)
+          : 0.0;
+  return stats;
+}
+
+}  // namespace culevo

@@ -1,0 +1,33 @@
+#ifndef CULEVO_ANALYSIS_NETWORK_STATS_H_
+#define CULEVO_ANALYSIS_NETWORK_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/cooccurrence.h"
+
+namespace culevo {
+
+/// Structural summary of an ingredient co-occurrence network — the
+/// network-level view of culinary organization used by the food-pairing
+/// literature the paper builds on (refs [3]-[6]).
+struct NetworkStats {
+  size_t num_nodes = 0;     ///< Ingredients touched by at least one edge.
+  size_t num_edges = 0;
+  double density = 0.0;     ///< edges / C(nodes, 2).
+  double mean_degree = 0.0;
+  size_t max_degree = 0;
+  /// degree_histogram[d] = number of nodes with degree d.
+  std::vector<size_t> degree_histogram;
+  /// Global clustering coefficient: 3 * triangles / connected triples.
+  double clustering = 0.0;
+};
+
+/// Computes structural statistics of an edge list (as produced by
+/// BuildPairingNetwork). Self-loops are ignored; duplicate edges counted
+/// once.
+NetworkStats ComputeNetworkStats(const std::vector<PairingEdge>& edges);
+
+}  // namespace culevo
+
+#endif  // CULEVO_ANALYSIS_NETWORK_STATS_H_

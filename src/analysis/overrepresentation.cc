@@ -1,0 +1,52 @@
+#include "analysis/overrepresentation.h"
+
+#include <algorithm>
+
+namespace culevo {
+
+std::vector<OverrepresentationScore> ComputeOverrepresentation(
+    const RecipeCorpus& corpus, CuisineId cuisine) {
+  const std::vector<uint32_t>& indices = corpus.recipes_of(cuisine);
+  if (indices.empty() || corpus.num_recipes() == 0) return {};
+
+  // Recipe-presence counts: per cuisine and world-wide. A recipe counts an
+  // ingredient once regardless of how it is used (corpus stores id sets).
+  std::vector<size_t> cuisine_count(kInvalidIngredient, 0);
+  for (uint32_t index : indices) {
+    for (IngredientId id : corpus.ingredients_of(index)) ++cuisine_count[id];
+  }
+  std::vector<size_t> world_count(kInvalidIngredient, 0);
+  for (uint32_t i = 0; i < corpus.num_recipes(); ++i) {
+    for (IngredientId id : corpus.ingredients_of(i)) ++world_count[id];
+  }
+
+  const double n_cuisine = static_cast<double>(indices.size());
+  const double n_world = static_cast<double>(corpus.num_recipes());
+  std::vector<OverrepresentationScore> out;
+  for (size_t id = 0; id < cuisine_count.size(); ++id) {
+    if (cuisine_count[id] == 0) continue;
+    OverrepresentationScore s;
+    s.ingredient = static_cast<IngredientId>(id);
+    s.cuisine_fraction = static_cast<double>(cuisine_count[id]) / n_cuisine;
+    s.world_fraction = static_cast<double>(world_count[id]) / n_world;
+    s.score = s.cuisine_fraction - s.world_fraction;
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OverrepresentationScore& a,
+               const OverrepresentationScore& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.ingredient < b.ingredient;  // Deterministic ties.
+            });
+  return out;
+}
+
+std::vector<OverrepresentationScore> TopOverrepresented(
+    const RecipeCorpus& corpus, CuisineId cuisine, size_t k) {
+  std::vector<OverrepresentationScore> all =
+      ComputeOverrepresentation(corpus, cuisine);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace culevo

@@ -1,0 +1,46 @@
+#include "analysis/rank_frequency.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace culevo {
+
+RankFrequency RankFrequency::FromCounts(const std::vector<size_t>& counts,
+                                        size_t normalizer) {
+  CULEVO_CHECK(normalizer > 0);
+  std::vector<double> frequencies;
+  frequencies.reserve(counts.size());
+  for (size_t count : counts) {
+    frequencies.push_back(static_cast<double>(count) /
+                          static_cast<double>(normalizer));
+  }
+  return FromFrequencies(std::move(frequencies));
+}
+
+RankFrequency RankFrequency::FromFrequencies(std::vector<double> frequencies) {
+  std::sort(frequencies.begin(), frequencies.end(), std::greater<double>());
+  RankFrequency rf;
+  rf.values_ = std::move(frequencies);
+  return rf;
+}
+
+RankFrequency AverageRankFrequencies(
+    const std::vector<RankFrequency>& curves) {
+  size_t max_len = 0;
+  for (const RankFrequency& curve : curves) {
+    max_len = std::max(max_len, curve.size());
+  }
+  std::vector<double> sum(max_len, 0.0);
+  for (const RankFrequency& curve : curves) {
+    for (size_t i = 0; i < curve.size(); ++i) sum[i] += curve.values()[i];
+  }
+  if (!curves.empty()) {
+    for (double& v : sum) v /= static_cast<double>(curves.size());
+  }
+  // Averaging of descending curves stays descending; no resort needed,
+  // but normalize representation through the factory anyway.
+  return RankFrequency::FromFrequencies(std::move(sum));
+}
+
+}  // namespace culevo

@@ -1,0 +1,44 @@
+#ifndef CULEVO_ANALYSIS_RANK_FREQUENCY_H_
+#define CULEVO_ANALYSIS_RANK_FREQUENCY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace culevo {
+
+/// A rank-frequency distribution: frequencies sorted descending, where
+/// frequency = support / number-of-recipes (the paper normalizes by the
+/// total number of recipes in a cuisine). rank r (1-based) has frequency
+/// values[r-1].
+class RankFrequency {
+ public:
+  RankFrequency() = default;
+
+  /// Builds from raw support counts, normalizing by `normalizer` (> 0).
+  static RankFrequency FromCounts(const std::vector<size_t>& counts,
+                                  size_t normalizer);
+
+  /// Builds from already-normalized frequencies (sorts them descending).
+  static RankFrequency FromFrequencies(std::vector<double> frequencies);
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Frequency at 1-based rank. Precondition: 1 <= rank <= size().
+  double at_rank(size_t rank) const { return values_[rank - 1]; }
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Averages several rank-frequency curves position-wise, producing the
+/// aggregate curves shown in the model evaluation (each replica of a
+/// simulation yields one curve). Ranks beyond a shorter curve's length
+/// contribute zero; the result has the maximum length.
+RankFrequency AverageRankFrequencies(const std::vector<RankFrequency>& curves);
+
+}  // namespace culevo
+
+#endif  // CULEVO_ANALYSIS_RANK_FREQUENCY_H_

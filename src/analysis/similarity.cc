@@ -1,0 +1,169 @@
+#include "analysis/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace culevo {
+namespace {
+
+/// Presence-fraction vector over the full ingredient id space.
+std::vector<double> UsageVector(const RecipeCorpus& corpus,
+                                CuisineId cuisine) {
+  const std::vector<uint32_t>& indices = corpus.recipes_of(cuisine);
+  std::vector<double> usage(kInvalidIngredient, 0.0);
+  if (indices.empty()) return usage;
+  for (uint32_t index : indices) {
+    for (IngredientId id : corpus.ingredients_of(index)) usage[id] += 1.0;
+  }
+  for (double& v : usage) v /= static_cast<double>(indices.size());
+  return usage;
+}
+
+double CosineDistance(const std::vector<double>& a,
+                      const std::vector<double>& b) {
+  double dot = 0.0;
+  double norm_a = 0.0;
+  double norm_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    norm_a += a[i] * a[i];
+    norm_b += b[i] * b[i];
+  }
+  if (norm_a <= 0.0 || norm_b <= 0.0) {
+    return (norm_a <= 0.0 && norm_b <= 0.0) ? 0.0 : 1.0;
+  }
+  const double cosine = dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+  return std::clamp(1.0 - cosine, 0.0, 1.0);
+}
+
+}  // namespace
+
+double IngredientUsageDistance(const RecipeCorpus& corpus, CuisineId a,
+                               CuisineId b) {
+  return CosineDistance(UsageVector(corpus, a), UsageVector(corpus, b));
+}
+
+std::vector<std::vector<double>> IngredientUsageDistanceMatrix(
+    const RecipeCorpus& corpus) {
+  std::vector<std::vector<double>> usage_vectors;
+  usage_vectors.reserve(kNumCuisines);
+  for (int c = 0; c < kNumCuisines; ++c) {
+    usage_vectors.push_back(UsageVector(corpus, static_cast<CuisineId>(c)));
+  }
+  std::vector<std::vector<double>> matrix(
+      kNumCuisines, std::vector<double>(kNumCuisines, 0.0));
+  for (int i = 0; i < kNumCuisines; ++i) {
+    for (int j = i + 1; j < kNumCuisines; ++j) {
+      const double d = CosineDistance(usage_vectors[static_cast<size_t>(i)],
+                                      usage_vectors[static_cast<size_t>(j)]);
+      matrix[static_cast<size_t>(i)][static_cast<size_t>(j)] = d;
+      matrix[static_cast<size_t>(j)][static_cast<size_t>(i)] = d;
+    }
+  }
+  return matrix;
+}
+
+std::vector<CuisineNeighbor> NearestCuisines(const RecipeCorpus& corpus,
+                                             CuisineId cuisine, size_t k) {
+  const std::vector<double> self = UsageVector(corpus, cuisine);
+  std::vector<CuisineNeighbor> neighbors;
+  for (int c = 0; c < kNumCuisines; ++c) {
+    const CuisineId other = static_cast<CuisineId>(c);
+    if (other == cuisine || corpus.num_recipes_in(other) == 0) continue;
+    neighbors.push_back(
+        CuisineNeighbor{other, CosineDistance(self, UsageVector(corpus,
+                                                                other))});
+  }
+  std::sort(neighbors.begin(), neighbors.end(),
+            [](const CuisineNeighbor& a, const CuisineNeighbor& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.cuisine < b.cuisine;
+            });
+  if (neighbors.size() > k) neighbors.resize(k);
+  return neighbors;
+}
+
+std::vector<ClusterMerge> AgglomerativeCluster(
+    const std::vector<std::vector<double>>& matrix) {
+  const size_t n = matrix.size();
+  for (const std::vector<double>& row : matrix) {
+    CULEVO_CHECK(row.size() == n);
+  }
+  if (n <= 1) return {};
+
+  // Active clusters as member lists; average linkage computed from the
+  // original matrix (O(n^3) overall — trivial at n = 25).
+  std::vector<std::vector<CuisineId>> clusters;
+  clusters.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    clusters.push_back({static_cast<CuisineId>(i)});
+  }
+
+  const auto linkage = [&matrix](const std::vector<CuisineId>& a,
+                                 const std::vector<CuisineId>& b) {
+    double total = 0.0;
+    for (CuisineId x : a) {
+      for (CuisineId y : b) total += matrix[x][y];
+    }
+    return total / static_cast<double>(a.size() * b.size());
+  };
+
+  std::vector<ClusterMerge> merges;
+  while (clusters.size() > 1) {
+    size_t best_i = 0;
+    size_t best_j = 1;
+    double best = linkage(clusters[0], clusters[1]);
+    for (size_t i = 0; i < clusters.size(); ++i) {
+      for (size_t j = i + 1; j < clusters.size(); ++j) {
+        const double d = linkage(clusters[i], clusters[j]);
+        if (d < best) {
+          best = d;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    std::vector<CuisineId> merged = clusters[best_i];
+    merged.insert(merged.end(), clusters[best_j].begin(),
+                  clusters[best_j].end());
+    std::sort(merged.begin(), merged.end());
+    clusters.erase(clusters.begin() + static_cast<long>(best_j));
+    clusters.erase(clusters.begin() + static_cast<long>(best_i));
+    clusters.push_back(merged);
+    merges.push_back(ClusterMerge{std::move(merged), best});
+  }
+  return merges;
+}
+
+std::vector<std::vector<CuisineId>> CutClusters(
+    const std::vector<std::vector<double>>& matrix, size_t k) {
+  const size_t n = matrix.size();
+  CULEVO_CHECK(k >= 1 && k <= n);
+  std::vector<std::vector<CuisineId>> clusters;
+  for (size_t i = 0; i < n; ++i) {
+    clusters.push_back({static_cast<CuisineId>(i)});
+  }
+  // Replay the merge sequence until k clusters remain.
+  const std::vector<ClusterMerge> merges = AgglomerativeCluster(matrix);
+  size_t remaining = n;
+  for (const ClusterMerge& merge : merges) {
+    if (remaining == k) break;
+    // Remove the two clusters whose union is `merge.members`, insert it.
+    std::vector<std::vector<CuisineId>> next;
+    for (std::vector<CuisineId>& cluster : clusters) {
+      const bool subsumed = std::includes(
+          merge.members.begin(), merge.members.end(), cluster.begin(),
+          cluster.end());
+      if (!subsumed) next.push_back(std::move(cluster));
+    }
+    next.push_back(merge.members);
+    clusters = std::move(next);
+    --remaining;
+  }
+  std::sort(clusters.begin(), clusters.end());
+  return clusters;
+}
+
+}  // namespace culevo

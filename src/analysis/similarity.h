@@ -1,0 +1,57 @@
+#ifndef CULEVO_ANALYSIS_SIMILARITY_H_
+#define CULEVO_ANALYSIS_SIMILARITY_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/rank_frequency.h"
+#include "corpus/recipe_corpus.h"
+#include "lexicon/lexicon.h"
+
+namespace culevo {
+
+/// Cuisine-to-cuisine distance matrices and a simple agglomerative
+/// clustering on top of them — tooling for the Section-III/IV discussion
+/// of how distinct or homogeneous world cuisines are.
+
+/// Distance between two cuisines as 1 - cosine similarity of their
+/// ingredient-usage vectors (presence fraction per ingredient). 0 =
+/// identical usage profile, 1 = orthogonal.
+double IngredientUsageDistance(const RecipeCorpus& corpus, CuisineId a,
+                               CuisineId b);
+
+/// Full kNumCuisines x kNumCuisines ingredient-usage distance matrix.
+/// Cuisines with no recipes get distance 1 to everything (0 to self).
+std::vector<std::vector<double>> IngredientUsageDistanceMatrix(
+    const RecipeCorpus& corpus);
+
+/// The `k` nearest cuisines to `cuisine` under ingredient-usage distance,
+/// closest first (excluding itself and empty cuisines).
+struct CuisineNeighbor {
+  CuisineId cuisine = 0;
+  double distance = 0.0;
+};
+std::vector<CuisineNeighbor> NearestCuisines(const RecipeCorpus& corpus,
+                                             CuisineId cuisine, size_t k);
+
+/// One merge step of average-linkage agglomerative clustering.
+struct ClusterMerge {
+  /// Cluster members after the merge (cuisine ids, sorted).
+  std::vector<CuisineId> members;
+  /// Average-linkage distance at which the merge happened.
+  double distance = 0.0;
+};
+
+/// Average-linkage agglomerative clustering over a symmetric distance
+/// matrix. Returns the n-1 merges in order of increasing distance.
+/// Precondition: matrix is square, symmetric, zero-diagonal.
+std::vector<ClusterMerge> AgglomerativeCluster(
+    const std::vector<std::vector<double>>& matrix);
+
+/// Cuts the merge sequence to produce exactly `k` clusters (1 <= k <= n).
+std::vector<std::vector<CuisineId>> CutClusters(
+    const std::vector<std::vector<double>>& matrix, size_t k);
+
+}  // namespace culevo
+
+#endif  // CULEVO_ANALYSIS_SIMILARITY_H_

@@ -1,0 +1,101 @@
+#include "analysis/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace culevo {
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double total = 0.0;
+  s.min = values[0];
+  s.max = values[0];
+  for (double v : values) {
+    total += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = total / static_cast<double>(values.size());
+  double ss = 0.0;
+  for (double v : values) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(ss / static_cast<double>(values.size()));
+  return s;
+}
+
+double Quantile(std::vector<double> values, double q) {
+  CULEVO_CHECK(!values.empty());
+  CULEVO_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+BoxplotStats ComputeBoxplotStats(const std::vector<double>& values) {
+  CULEVO_CHECK(!values.empty());
+  BoxplotStats b;
+  const Summary s = Summarize(values);
+  b.min = s.min;
+  b.max = s.max;
+  b.mean = s.mean;
+  b.q1 = Quantile(values, 0.25);
+  b.median = Quantile(values, 0.5);
+  b.q3 = Quantile(values, 0.75);
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+  // Whisker = most extreme data point inside the fence.
+  b.whisker_low = b.max;
+  b.whisker_high = b.min;
+  for (double v : values) {
+    if (v >= lo_fence) b.whisker_low = std::min(b.whisker_low, v);
+    if (v <= hi_fence) b.whisker_high = std::max(b.whisker_high, v);
+  }
+  return b;
+}
+
+GaussianFit FitGaussianToHistogram(const std::vector<size_t>& histogram) {
+  double total = 0.0;
+  for (size_t count : histogram) total += static_cast<double>(count);
+  CULEVO_CHECK(total > 0.0);
+
+  GaussianFit fit;
+  for (size_t s = 0; s < histogram.size(); ++s) {
+    fit.mean += static_cast<double>(s) * static_cast<double>(histogram[s]);
+  }
+  fit.mean /= total;
+  double ss = 0.0;
+  for (size_t s = 0; s < histogram.size(); ++s) {
+    const double d = static_cast<double>(s) - fit.mean;
+    ss += d * d * static_cast<double>(histogram[s]);
+  }
+  fit.stddev = std::sqrt(ss / total);
+  if (fit.stddev <= 0.0) {
+    fit.tv_error = 0.0;  // Degenerate single-bin histogram.
+    return fit;
+  }
+
+  // Discretized Gaussian mass per bin, renormalized over the support.
+  std::vector<double> fitted(histogram.size());
+  double fitted_total = 0.0;
+  for (size_t s = 0; s < histogram.size(); ++s) {
+    const double z = (static_cast<double>(s) - fit.mean) / fit.stddev;
+    fitted[s] = std::exp(-0.5 * z * z);
+    fitted_total += fitted[s];
+  }
+  double tv = 0.0;
+  for (size_t s = 0; s < histogram.size(); ++s) {
+    tv += std::abs(static_cast<double>(histogram[s]) / total -
+                   fitted[s] / fitted_total);
+  }
+  fit.tv_error = 0.5 * tv;
+  return fit;
+}
+
+}  // namespace culevo

@@ -1,0 +1,57 @@
+#ifndef CULEVO_ANALYSIS_SUMMARY_H_
+#define CULEVO_ANALYSIS_SUMMARY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace culevo {
+
+/// Moments and extrema of a sample.
+struct Summary {
+  size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Population standard deviation.
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes Summary over `values` (empty input yields zeroed Summary).
+Summary Summarize(const std::vector<double>& values);
+
+/// Linear-interpolation quantile (q in [0,1]) of an unsorted sample.
+/// Precondition: !values.empty().
+double Quantile(std::vector<double> values, double q);
+
+/// Five-number summary + mean, as drawn in the paper's Fig. 2 boxplots.
+/// Whiskers follow the Tukey convention (1.5 IQR, clipped to data range).
+struct BoxplotStats {
+  double min = 0.0;
+  double whisker_low = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double whisker_high = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+
+/// Precondition: !values.empty().
+BoxplotStats ComputeBoxplotStats(const std::vector<double>& values);
+
+/// Maximum-likelihood Gaussian fit plus a goodness measure for integer
+/// histograms (Fig. 1 claims recipe sizes are Gaussian).
+struct GaussianFit {
+  double mean = 0.0;
+  double stddev = 0.0;
+  /// Total-variation-style error: 0.5 * sum |empirical_p - fitted_p| over
+  /// the histogram bins. 0 = perfect fit, 1 = disjoint.
+  double tv_error = 1.0;
+};
+
+/// Fits a Gaussian to histogram[s] = count of value s. Precondition: the
+/// histogram has positive total mass.
+GaussianFit FitGaussianToHistogram(const std::vector<size_t>& histogram);
+
+}  // namespace culevo
+
+#endif  // CULEVO_ANALYSIS_SUMMARY_H_

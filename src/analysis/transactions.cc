@@ -1,0 +1,55 @@
+#include "analysis/transactions.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace culevo {
+
+bool ItemsetLess(const Itemset& a, const Itemset& b) {
+  if (a.items.size() != b.items.size()) {
+    return a.items.size() < b.items.size();
+  }
+  return a.items < b.items;
+}
+
+void TransactionSet::Add(std::vector<Item> items) {
+  CULEVO_DCHECK(std::is_sorted(items.begin(), items.end()));
+  CULEVO_DCHECK(std::adjacent_find(items.begin(), items.end()) ==
+                items.end());
+  if (!items.empty()) {
+    universe_ = std::max(universe_, static_cast<size_t>(items.back()) + 1);
+  }
+  transactions_.push_back(std::move(items));
+}
+
+TransactionSet IngredientTransactions(const RecipeCorpus& corpus,
+                                      CuisineId cuisine) {
+  TransactionSet out;
+  for (uint32_t index : corpus.recipes_of(cuisine)) {
+    const std::span<const IngredientId> ingredients =
+        corpus.ingredients_of(index);
+    out.Add(std::vector<Item>(ingredients.begin(), ingredients.end()));
+  }
+  return out;
+}
+
+TransactionSet CategoryTransactions(const RecipeCorpus& corpus,
+                                    CuisineId cuisine,
+                                    const Lexicon& lexicon) {
+  TransactionSet out;
+  for (uint32_t index : corpus.recipes_of(cuisine)) {
+    bool present[kNumCategories] = {};
+    for (IngredientId id : corpus.ingredients_of(index)) {
+      present[static_cast<int>(lexicon.category(id))] = true;
+    }
+    std::vector<Item> items;
+    for (int c = 0; c < kNumCategories; ++c) {
+      if (present[c]) items.push_back(static_cast<Item>(c));
+    }
+    out.Add(std::move(items));
+  }
+  return out;
+}
+
+}  // namespace culevo

@@ -1,0 +1,65 @@
+#ifndef CULEVO_ANALYSIS_TRANSACTIONS_H_
+#define CULEVO_ANALYSIS_TRANSACTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/recipe_corpus.h"
+#include "lexicon/lexicon.h"
+
+namespace culevo {
+
+/// Generic item for frequent-itemset mining. Wide enough for both
+/// ingredient ids (0..720) and category indices (0..20).
+using Item = uint16_t;
+
+/// A frequent itemset and its absolute support (transaction count).
+struct Itemset {
+  std::vector<Item> items;  ///< Sorted ascending, unique.
+  size_t support = 0;
+};
+
+/// Deterministic ordering for test comparison: by size, then
+/// lexicographically by items.
+bool ItemsetLess(const Itemset& a, const Itemset& b);
+
+/// A transaction database: each transaction is a sorted set of items.
+/// This is the input format of both miners.
+class TransactionSet {
+ public:
+  TransactionSet() = default;
+
+  /// `items` must be sorted ascending and duplicate-free.
+  void Add(std::vector<Item> items);
+
+  size_t size() const { return transactions_.size(); }
+  const std::vector<Item>& transaction(size_t i) const {
+    return transactions_[i];
+  }
+  const std::vector<std::vector<Item>>& transactions() const {
+    return transactions_;
+  }
+
+  /// Largest item value + 1 (0 if empty).
+  size_t item_universe() const { return universe_; }
+
+ private:
+  std::vector<std::vector<Item>> transactions_;
+  size_t universe_ = 0;
+};
+
+/// The ingredient transactions of one cuisine: one transaction per recipe,
+/// items = ingredient ids.
+TransactionSet IngredientTransactions(const RecipeCorpus& corpus,
+                                      CuisineId cuisine);
+
+/// The category transactions of one cuisine: each recipe projected to the
+/// set of distinct categories of its ingredients (the paper's "combinations
+/// of ingredient categories").
+TransactionSet CategoryTransactions(const RecipeCorpus& corpus,
+                                    CuisineId cuisine,
+                                    const Lexicon& lexicon);
+
+}  // namespace culevo
+
+#endif  // CULEVO_ANALYSIS_TRANSACTIONS_H_

@@ -1,0 +1,31 @@
+#ifndef CULEVO_ANALYSIS_ZIPF_H_
+#define CULEVO_ANALYSIS_ZIPF_H_
+
+#include "analysis/rank_frequency.h"
+#include "corpus/recipe_corpus.h"
+
+namespace culevo {
+
+/// Least-squares power-law fit f(r) ~ C * r^(-s) in log-log space, the
+/// standard summary of the invariant rank-frequency patterns (Section IV
+/// and refs [3]-[8]).
+struct ZipfFit {
+  double exponent = 0.0;   ///< s (positive for a decaying curve).
+  double intercept = 0.0;  ///< log10(C).
+  double r_squared = 0.0;  ///< Goodness of the log-log linear fit.
+};
+
+/// Fits ranks 1..n of `curve` (zero frequencies are skipped). Returns a
+/// zero fit for curves with fewer than 2 positive entries.
+ZipfFit FitZipf(const RankFrequency& curve);
+
+/// The ingredient *popularity* (presence-count) rank-frequency curve of a
+/// cuisine, normalized by recipe count — the classic single-ingredient
+/// invariant pattern of refs [3]-[8]. Distinct from the combination curve
+/// (no mining involved; every ingredient contributes one point).
+RankFrequency IngredientPopularityCurve(const RecipeCorpus& corpus,
+                                        CuisineId cuisine);
+
+}  // namespace culevo
+
+#endif  // CULEVO_ANALYSIS_ZIPF_H_

@@ -1,0 +1,248 @@
+#include "core/copy_mutate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace culevo {
+
+const char* ReplacementPolicyName(ReplacementPolicy policy) {
+  switch (policy) {
+    case ReplacementPolicy::kRandom:
+      return "CM-R";
+    case ReplacementPolicy::kSameCategory:
+      return "CM-C";
+    case ReplacementPolicy::kMixture:
+      return "CM-M";
+  }
+  return "CM-?";
+}
+
+CopyMutateModel::CopyMutateModel(const Lexicon* lexicon, ModelParams params)
+    : lexicon_(lexicon), params_(params) {
+  CULEVO_CHECK(lexicon_ != nullptr);
+  CULEVO_CHECK(params_.initial_pool > 0);
+  CULEVO_CHECK(params_.mutations >= 0);
+  CULEVO_CHECK(params_.mixture_cross_prob >= 0.0 &&
+               params_.mixture_cross_prob <= 1.0);
+}
+
+std::string CopyMutateModel::name() const {
+  return ReplacementPolicyName(params_.policy);
+}
+
+namespace {
+
+/// Index into CuisineContext::ingredients.
+using Pos = uint16_t;
+
+/// Mutable per-replica state of Algorithm 1's ingredient pool I0, with a
+/// per-category view for the CM-C / CM-M replacement draws.
+class IngredientPool {
+ public:
+  IngredientPool(const CuisineContext& context, const Lexicon& lexicon)
+      : context_(context) {
+    category_of_.reserve(context.ingredients.size());
+    for (IngredientId id : context.ingredients) {
+      category_of_.push_back(static_cast<int>(lexicon.category(id)));
+    }
+    by_category_.resize(kNumCategories);
+  }
+
+  /// Initializes I0 with `m` random ingredients; the rest stay in the
+  /// reserve (Algorithm 1 line 5: I <- I - I0).
+  void Init(int m, Rng* rng) {
+    const uint32_t total = static_cast<uint32_t>(context_.ingredients.size());
+    const uint32_t m0 = std::min<uint32_t>(static_cast<uint32_t>(m), total);
+    std::vector<bool> chosen(total, false);
+    for (uint32_t pick : SampleWithoutReplacement(rng, total, m0)) {
+      chosen[pick] = true;
+      Push(static_cast<Pos>(pick));
+    }
+    reserve_.reserve(total - m0);
+    for (uint32_t p = 0; p < total; ++p) {
+      if (!chosen[p]) reserve_.push_back(static_cast<Pos>(p));
+    }
+  }
+
+  size_t size() const { return members_.size(); }
+  bool reserve_empty() const { return reserve_.empty(); }
+
+  /// Moves one random unused ingredient into the pool (lines 20-25).
+  void GrowFromReserve(Rng* rng) {
+    CULEVO_DCHECK(!reserve_.empty());
+    const size_t k = rng->NextBounded(reserve_.size());
+    const Pos pos = reserve_[k];
+    reserve_[k] = reserve_.back();
+    reserve_.pop_back();
+    Push(pos);
+  }
+
+  Pos SampleUniform(Rng* rng) const {
+    return members_[rng->NextBounded(members_.size())];
+  }
+
+  /// Uniform draw from the pool members sharing `i`'s category; falls back
+  /// to the whole pool if the category is not represented (cannot happen
+  /// for an `i` that itself came from the pool, but keeps the API total).
+  Pos SampleSameCategory(Rng* rng, Pos i) const {
+    const std::vector<Pos>& peers =
+        by_category_[static_cast<size_t>(category_of_[i])];
+    if (peers.empty()) return SampleUniform(rng);
+    return peers[rng->NextBounded(peers.size())];
+  }
+
+  const std::vector<Pos>& members() const { return members_; }
+
+ private:
+  void Push(Pos pos) {
+    members_.push_back(pos);
+    by_category_[static_cast<size_t>(category_of_[pos])].push_back(pos);
+  }
+
+  const CuisineContext& context_;
+  std::vector<int> category_of_;
+  std::vector<Pos> members_;
+  std::vector<Pos> reserve_;
+  std::vector<std::vector<Pos>> by_category_;
+};
+
+bool Contains(const std::vector<Pos>& recipe, Pos pos) {
+  return std::find(recipe.begin(), recipe.end(), pos) != recipe.end();
+}
+
+/// Samples `size` distinct pool members (a fresh recipe).
+std::vector<Pos> SampleRecipeFromPool(const IngredientPool& pool, int size,
+                                      Rng* rng) {
+  const std::vector<Pos>& members = pool.members();
+  const uint32_t k =
+      std::min<uint32_t>(static_cast<uint32_t>(size),
+                         static_cast<uint32_t>(members.size()));
+  std::vector<Pos> recipe;
+  recipe.reserve(k);
+  for (uint32_t idx :
+       SampleWithoutReplacement(rng, static_cast<uint32_t>(members.size()),
+                                k)) {
+    recipe.push_back(members[idx]);
+  }
+  return recipe;
+}
+
+}  // namespace
+
+Status CopyMutateModel::Generate(const CuisineContext& context, uint64_t seed,
+                                 GeneratedRecipes* out) const {
+  if (context.target_recipes == 0) {
+    return Status::InvalidArgument("target_recipes must be positive");
+  }
+  if (context.ingredients.empty()) {
+    return Status::InvalidArgument("cuisine has no ingredients");
+  }
+  if (context.phi <= 0.0) {
+    return Status::InvalidArgument("phi must be positive");
+  }
+
+  Rng rng(seed);
+  const FitnessTable fitness =
+      FitnessTable::Make(params_.fitness, context.ingredients,
+                         context.popularity, *lexicon_, &rng);
+
+  IngredientPool pool(context, *lexicon_);
+  pool.Init(params_.initial_pool, &rng);
+
+  // Initial recipe pool: n0 = m/φ recipes of s̄ pool ingredients each.
+  const size_t n0 = std::min(
+      context.target_recipes,
+      std::max<size_t>(1, static_cast<size_t>(std::lround(
+                              static_cast<double>(pool.size()) /
+                              context.phi))));
+  std::vector<std::vector<Pos>> recipes;
+  recipes.reserve(context.target_recipes);
+  for (size_t i = 0; i < n0; ++i) {
+    recipes.push_back(
+        SampleRecipeFromPool(pool, context.mean_recipe_size, &rng));
+  }
+
+  while (recipes.size() < context.target_recipes) {
+    const double ratio = static_cast<double>(pool.size()) /
+                         static_cast<double>(recipes.size());
+    if (ratio >= context.phi || pool.reserve_empty()) {
+      // Copy a mother recipe and apply M fitness-gated point mutations.
+      std::vector<Pos> recipe = recipes[rng.NextBounded(recipes.size())];
+      for (int g = 0; g < params_.mutations; ++g) {
+        const size_t slot = rng.NextBounded(recipe.size());
+        const Pos i = recipe[slot];
+        Pos j = i;
+        switch (params_.policy) {
+          case ReplacementPolicy::kRandom:
+            j = pool.SampleUniform(&rng);
+            break;
+          case ReplacementPolicy::kSameCategory:
+            j = pool.SampleSameCategory(&rng, i);
+            break;
+          case ReplacementPolicy::kMixture:
+            j = rng.NextBool(params_.mixture_cross_prob)
+                    ? pool.SampleUniform(&rng)
+                    : pool.SampleSameCategory(&rng, i);
+            break;
+        }
+        if (fitness.at(j) > fitness.at(i) && !Contains(recipe, j)) {
+          recipe[slot] = j;
+        }
+      }
+      // §VII extension: variable recipe sizes (no-ops with the paper's
+      // default probabilities of zero).
+      if (static_cast<int>(recipe.size()) < params_.max_recipe_size &&
+          rng.NextBool(params_.insert_prob)) {
+        const Pos extra = pool.SampleUniform(&rng);
+        if (!Contains(recipe, extra)) recipe.push_back(extra);
+      }
+      if (static_cast<int>(recipe.size()) > params_.min_recipe_size &&
+          rng.NextBool(params_.delete_prob)) {
+        recipe.erase(recipe.begin() +
+                     static_cast<long>(rng.NextBounded(recipe.size())));
+      }
+      recipes.push_back(std::move(recipe));
+    } else {
+      pool.GrowFromReserve(&rng);
+    }
+  }
+
+  out->clear();
+  out->reserve(recipes.size());
+  for (const std::vector<Pos>& recipe : recipes) {
+    std::vector<IngredientId> ids;
+    ids.reserve(recipe.size());
+    for (Pos pos : recipe) ids.push_back(context.ingredients[pos]);
+    std::sort(ids.begin(), ids.end());
+    out->push_back(std::move(ids));
+  }
+  return Status::Ok();
+}
+
+std::unique_ptr<CopyMutateModel> MakeCmR(const Lexicon* lexicon) {
+  ModelParams params;
+  params.policy = ReplacementPolicy::kRandom;
+  params.mutations = 4;
+  return std::make_unique<CopyMutateModel>(lexicon, params);
+}
+
+std::unique_ptr<CopyMutateModel> MakeCmC(const Lexicon* lexicon) {
+  ModelParams params;
+  params.policy = ReplacementPolicy::kSameCategory;
+  params.mutations = 6;
+  return std::make_unique<CopyMutateModel>(lexicon, params);
+}
+
+std::unique_ptr<CopyMutateModel> MakeCmM(const Lexicon* lexicon) {
+  ModelParams params;
+  params.policy = ReplacementPolicy::kMixture;
+  params.mutations = 6;
+  return std::make_unique<CopyMutateModel>(lexicon, params);
+}
+
+}  // namespace culevo

@@ -1,0 +1,54 @@
+#include "core/evaluator.h"
+
+#include "analysis/distance.h"
+#include "util/check.h"
+
+namespace culevo {
+
+size_t CuisineEvaluation::BestByIngredientMae() const {
+  CULEVO_CHECK(!scores.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < scores.size(); ++i) {
+    if (scores[i].mae_ingredient < scores[best].mae_ingredient) best = i;
+  }
+  return best;
+}
+
+Result<CuisineEvaluation> EvaluateCuisine(
+    const RecipeCorpus& corpus, CuisineId cuisine, const Lexicon& lexicon,
+    const std::vector<const EvolutionModel*>& models,
+    const SimulationConfig& config, ThreadPool* pool) {
+  if (models.empty()) {
+    return Status::InvalidArgument("no models to evaluate");
+  }
+  Result<CuisineContext> context = ContextFromCorpus(corpus, cuisine);
+  if (!context.ok()) return context.status();
+
+  CuisineEvaluation evaluation;
+  evaluation.cuisine = cuisine;
+  evaluation.empirical_ingredient =
+      IngredientCombinationCurve(corpus, cuisine, config.mining);
+  evaluation.empirical_category =
+      CategoryCombinationCurve(corpus, cuisine, lexicon, config.mining);
+
+  for (const EvolutionModel* model : models) {
+    Result<SimulationResult> sim =
+        RunSimulation(*model, context.value(), lexicon, config, pool);
+    if (!sim.ok()) return sim.status();
+
+    ModelScore score;
+    score.model = model->name();
+    score.ingredient_curve = std::move(sim.value().ingredient_curve);
+    score.category_curve = std::move(sim.value().category_curve);
+    score.mae_ingredient = MeanAbsoluteError(evaluation.empirical_ingredient,
+                                             score.ingredient_curve);
+    score.mae_category = MeanAbsoluteError(evaluation.empirical_category,
+                                           score.category_curve);
+    score.paper_eq2_ingredient = PaperEq2Distance(
+        evaluation.empirical_ingredient, score.ingredient_curve);
+    evaluation.scores.push_back(std::move(score));
+  }
+  return evaluation;
+}
+
+}  // namespace culevo

@@ -1,0 +1,61 @@
+#include "core/evolution_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace culevo {
+
+Result<CuisineContext> ContextFromCorpus(const RecipeCorpus& corpus,
+                                         CuisineId cuisine) {
+  if (cuisine >= kNumCuisines) {
+    return Status::InvalidArgument("cuisine id out of range");
+  }
+  const size_t n = corpus.num_recipes_in(cuisine);
+  if (n == 0) {
+    return Status::FailedPrecondition(
+        StrFormat("cuisine %s has no recipes",
+                  std::string(CuisineAt(cuisine).code).c_str()));
+  }
+  CuisineContext context;
+  context.cuisine = cuisine;
+  context.ingredients = corpus.UniqueIngredients(cuisine);
+  context.target_recipes = n;
+  context.phi = static_cast<double>(context.ingredients.size()) /
+                static_cast<double>(n);
+  context.mean_recipe_size = std::max(
+      1, static_cast<int>(std::lround(corpus.MeanRecipeSize(cuisine))));
+  if (static_cast<size_t>(context.mean_recipe_size) >
+      context.ingredients.size()) {
+    return Status::FailedPrecondition(
+        "mean recipe size exceeds the cuisine's ingredient count");
+  }
+
+  // Presence fraction per ingredient, aligned with context.ingredients.
+  std::vector<size_t> counts(context.ingredients.size(), 0);
+  for (uint32_t index : corpus.recipes_of(cuisine)) {
+    for (IngredientId id : corpus.ingredients_of(index)) {
+      const auto it = std::lower_bound(context.ingredients.begin(),
+                                       context.ingredients.end(), id);
+      counts[static_cast<size_t>(it - context.ingredients.begin())] += 1;
+    }
+  }
+  context.popularity.resize(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    context.popularity[i] =
+        static_cast<double>(counts[i]) / static_cast<double>(n);
+  }
+  return context;
+}
+
+Result<RecipeCorpus> RecipesToCorpus(const GeneratedRecipes& recipes,
+                                     CuisineId cuisine) {
+  RecipeCorpus::Builder builder;
+  for (const std::vector<IngredientId>& recipe : recipes) {
+    CULEVO_RETURN_IF_ERROR(builder.Add(cuisine, recipe));
+  }
+  return builder.Build();
+}
+
+}  // namespace culevo

@@ -1,0 +1,59 @@
+#ifndef CULEVO_CORE_EVOLUTION_MODEL_H_
+#define CULEVO_CORE_EVOLUTION_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/recipe_corpus.h"
+#include "core/fitness.h"
+#include "lexicon/lexicon.h"
+#include "util/status.h"
+
+namespace culevo {
+
+/// The per-cuisine quantities Algorithm 1 consumes: the cuisine's
+/// ingredient list I, the average recipe size s̄, the target recipe count
+/// N, and φ = |I| / N (ratio of total ingredients to total recipes).
+struct CuisineContext {
+  CuisineId cuisine = 0;
+  /// All ingredients of the cuisine (the algorithm's I), sorted.
+  std::vector<IngredientId> ingredients;
+  /// Empirical presence fraction per ingredient, aligned with
+  /// `ingredients` (used by the popularity-rank fitness hypothesis).
+  std::vector<double> popularity;
+  int mean_recipe_size = 9;  ///< s̄, rounded to an integer.
+  size_t target_recipes = 0; ///< N.
+  double phi = 0.0;          ///< φ = |I| / N.
+};
+
+/// Extracts a CuisineContext from an empirical corpus. Returns
+/// FailedPrecondition if the cuisine is empty or s̄ exceeds |I|.
+Result<CuisineContext> ContextFromCorpus(const RecipeCorpus& corpus,
+                                         CuisineId cuisine);
+
+/// A generated recipe pool: one sorted-unique ingredient set per recipe.
+using GeneratedRecipes = std::vector<std::vector<IngredientId>>;
+
+/// Interface of the culinary-evolution models (Section V). Generate() must
+/// be deterministic in (context, seed) and safe to call concurrently.
+class EvolutionModel {
+ public:
+  virtual ~EvolutionModel() = default;
+
+  /// Short display name: "CM-R", "CM-C", "CM-M", "NM", ...
+  virtual std::string name() const = 0;
+
+  /// Evolves context.target_recipes recipes.
+  virtual Status Generate(const CuisineContext& context, uint64_t seed,
+                          GeneratedRecipes* out) const = 0;
+};
+
+/// Packs generated recipes into a corpus (all under `cuisine`), e.g. to
+/// reuse the corpus-level analyses on model output.
+Result<RecipeCorpus> RecipesToCorpus(const GeneratedRecipes& recipes,
+                                     CuisineId cuisine);
+
+}  // namespace culevo
+
+#endif  // CULEVO_CORE_EVOLUTION_MODEL_H_

@@ -1,0 +1,42 @@
+#ifndef CULEVO_CORE_HORIZONTAL_H_
+#define CULEVO_CORE_HORIZONTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/evolution_model.h"
+#include "lexicon/lexicon.h"
+#include "util/status.h"
+
+namespace culevo {
+
+/// §VII future-work extension: cuisines do not evolve in isolation —
+/// recipes also propagate *horizontally* between regions. With probability
+/// `migration_prob` a copy-mutate step picks its mother recipe from a
+/// uniformly chosen *other* cuisine's evolved pool; mutations still replace
+/// ingredients from the local pool, so imported recipes assimilate over
+/// time. migration_prob = 0 reduces to independent CM-R evolutions.
+struct HorizontalConfig {
+  double migration_prob = 0.05;
+  int initial_pool = 20;  ///< m per cuisine.
+  int mutations = 4;      ///< M per copied recipe.
+  uint64_t seed = 42;
+};
+
+/// Result of a joint multi-cuisine evolution.
+struct HorizontalWorld {
+  /// recipes[k] are the recipes evolved for contexts[k]'s cuisine.
+  std::vector<GeneratedRecipes> recipes;
+};
+
+/// Evolves all `contexts` jointly under horizontal transmission. Steps are
+/// interleaved round-robin, weighted by each cuisine's remaining target, so
+/// that pools co-evolve in time. Fitness is a single world-wide U(0,1)
+/// table (intrinsic ingredient properties are region-independent).
+Result<HorizontalWorld> EvolveHorizontalWorld(
+    const std::vector<CuisineContext>& contexts, const Lexicon& lexicon,
+    const HorizontalConfig& config);
+
+}  // namespace culevo
+
+#endif  // CULEVO_CORE_HORIZONTAL_H_

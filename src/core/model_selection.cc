@@ -1,0 +1,98 @@
+#include "core/model_selection.h"
+
+#include <algorithm>
+
+#include "analysis/distance.h"
+#include "corpus/corpus_filter.h"
+#include "util/rng.h"
+
+namespace culevo {
+
+Result<std::vector<ModelIntervalScore>> BootstrapModelComparison(
+    const RecipeCorpus& corpus, CuisineId cuisine, const Lexicon& lexicon,
+    const std::vector<const EvolutionModel*>& models,
+    const SimulationConfig& config, int bootstrap_rounds) {
+  if (models.empty()) {
+    return Status::InvalidArgument("no models to compare");
+  }
+  if (bootstrap_rounds <= 0) {
+    return Status::InvalidArgument("bootstrap_rounds must be positive");
+  }
+  Result<CuisineContext> context = ContextFromCorpus(corpus, cuisine);
+  if (!context.ok()) return context.status();
+  const RankFrequency empirical =
+      IngredientCombinationCurve(corpus, cuisine, config.mining);
+
+  Rng rng(DeriveSeed(config.seed, 0xB007));
+  std::vector<ModelIntervalScore> out;
+  for (const EvolutionModel* model : models) {
+    Result<SimulationResult> sim =
+        RunSimulation(*model, context.value(), lexicon, config);
+    if (!sim.ok()) return sim.status();
+
+    // Per-replica MAEs against the empirical curve.
+    std::vector<double> maes;
+    maes.reserve(sim->replica_ingredient_curves.size());
+    for (const RankFrequency& curve : sim->replica_ingredient_curves) {
+      maes.push_back(MeanAbsoluteError(empirical, curve));
+    }
+
+    ModelIntervalScore score;
+    score.model = model->name();
+    double total = 0.0;
+    for (double mae : maes) total += mae;
+    score.mae_mean = total / static_cast<double>(maes.size());
+
+    // Bootstrap the mean.
+    std::vector<double> means;
+    means.reserve(static_cast<size_t>(bootstrap_rounds));
+    for (int round = 0; round < bootstrap_rounds; ++round) {
+      double sum = 0.0;
+      for (size_t i = 0; i < maes.size(); ++i) {
+        sum += maes[rng.NextBounded(maes.size())];
+      }
+      means.push_back(sum / static_cast<double>(maes.size()));
+    }
+    std::sort(means.begin(), means.end());
+    const auto percentile = [&](double q) {
+      const size_t index = std::min(
+          means.size() - 1,
+          static_cast<size_t>(q * static_cast<double>(means.size())));
+      return means[index];
+    };
+    score.mae_low = percentile(0.025);
+    score.mae_high = percentile(0.975);
+    out.push_back(std::move(score));
+  }
+  return out;
+}
+
+Result<SplitHalfResult> SplitHalfStability(
+    const RecipeCorpus& corpus, CuisineId cuisine, const Lexicon& lexicon,
+    const std::vector<const EvolutionModel*>& models,
+    const SimulationConfig& config, uint64_t split_seed) {
+  if (models.empty()) {
+    return Status::InvalidArgument("no models to compare");
+  }
+  const CorpusSplit split = SplitHalves(corpus, split_seed);
+
+  const auto winner_of = [&](const RecipeCorpus& half) -> Result<std::string> {
+    Result<CuisineEvaluation> evaluation =
+        EvaluateCuisine(half, cuisine, lexicon, models, config);
+    if (!evaluation.ok()) return evaluation.status();
+    return evaluation->scores[evaluation->BestByIngredientMae()].model;
+  };
+
+  Result<std::string> first = winner_of(split.first);
+  if (!first.ok()) return first.status();
+  Result<std::string> second = winner_of(split.second);
+  if (!second.ok()) return second.status();
+
+  SplitHalfResult result;
+  result.winner_first = first.value();
+  result.winner_second = second.value();
+  result.stable = result.winner_first == result.winner_second;
+  return result;
+}
+
+}  // namespace culevo

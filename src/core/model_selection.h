@@ -1,0 +1,55 @@
+#ifndef CULEVO_CORE_MODEL_SELECTION_H_
+#define CULEVO_CORE_MODEL_SELECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "corpus/recipe_corpus.h"
+
+namespace culevo {
+
+/// Statistical controls for the model comparison, addressing the paper's
+/// critique that earlier culinary-evolution studies lacked them
+/// (Section I). Two tools:
+///
+///  * Replica-bootstrap confidence intervals: the per-replica MAE spread
+///    of each model quantifies whether one model's advantage over another
+///    is larger than simulation noise.
+///  * Split-half stability: the empirical corpus is split into halves; a
+///    winner that flips between halves is not a robust conclusion.
+
+/// A model's MAE with a bootstrap confidence interval over replicas.
+struct ModelIntervalScore {
+  std::string model;
+  double mae_mean = 0.0;  ///< Mean per-replica MAE.
+  double mae_low = 0.0;   ///< 2.5th percentile of bootstrap means.
+  double mae_high = 0.0;  ///< 97.5th percentile of bootstrap means.
+};
+
+/// Runs each model config.replicas times, computes per-replica MAEs
+/// against the cuisine's empirical ingredient-combination curve, and
+/// bootstrap-resamples (`bootstrap_rounds` resamples) the replica MAEs to
+/// produce 95% intervals on the mean.
+Result<std::vector<ModelIntervalScore>> BootstrapModelComparison(
+    const RecipeCorpus& corpus, CuisineId cuisine, const Lexicon& lexicon,
+    const std::vector<const EvolutionModel*>& models,
+    const SimulationConfig& config, int bootstrap_rounds = 200);
+
+/// Winner-stability across a split-half of the empirical corpus.
+struct SplitHalfResult {
+  std::string winner_first;
+  std::string winner_second;
+  bool stable = false;  ///< Same winner on both halves.
+};
+
+/// Evaluates all models on both halves of a seeded split of `cuisine`'s
+/// recipes and reports whether the best model agrees.
+Result<SplitHalfResult> SplitHalfStability(
+    const RecipeCorpus& corpus, CuisineId cuisine, const Lexicon& lexicon,
+    const std::vector<const EvolutionModel*>& models,
+    const SimulationConfig& config, uint64_t split_seed = 1);
+
+}  // namespace culevo
+
+#endif  // CULEVO_CORE_MODEL_SELECTION_H_

@@ -1,0 +1,85 @@
+#include "core/null_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace culevo {
+
+NullModel::NullModel(int initial_pool) : initial_pool_(initial_pool) {
+  CULEVO_CHECK(initial_pool_ > 0);
+}
+
+Status NullModel::Generate(const CuisineContext& context, uint64_t seed,
+                           GeneratedRecipes* out) const {
+  if (context.target_recipes == 0) {
+    return Status::InvalidArgument("target_recipes must be positive");
+  }
+  if (context.ingredients.empty()) {
+    return Status::InvalidArgument("cuisine has no ingredients");
+  }
+  if (context.phi <= 0.0) {
+    return Status::InvalidArgument("phi must be positive");
+  }
+
+  Rng rng(seed);
+  const uint32_t total = static_cast<uint32_t>(context.ingredients.size());
+
+  // Pool membership bookkeeping (same growth rule as Algorithm 1).
+  std::vector<uint16_t> pool;
+  std::vector<uint16_t> reserve;
+  {
+    const uint32_t m0 =
+        std::min<uint32_t>(static_cast<uint32_t>(initial_pool_), total);
+    std::vector<bool> chosen(total, false);
+    for (uint32_t pick : SampleWithoutReplacement(&rng, total, m0)) {
+      chosen[pick] = true;
+      pool.push_back(static_cast<uint16_t>(pick));
+    }
+    for (uint32_t p = 0; p < total; ++p) {
+      if (!chosen[p]) reserve.push_back(static_cast<uint16_t>(p));
+    }
+  }
+
+  const auto fresh_recipe = [&]() {
+    const uint32_t k = std::min<uint32_t>(
+        static_cast<uint32_t>(context.mean_recipe_size),
+        static_cast<uint32_t>(pool.size()));
+    std::vector<IngredientId> ids;
+    ids.reserve(k);
+    for (uint32_t idx : SampleWithoutReplacement(
+             &rng, static_cast<uint32_t>(pool.size()), k)) {
+      ids.push_back(context.ingredients[pool[idx]]);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+
+  out->clear();
+  out->reserve(context.target_recipes);
+  const size_t n0 = std::min(
+      context.target_recipes,
+      std::max<size_t>(1, static_cast<size_t>(std::lround(
+                              static_cast<double>(pool.size()) /
+                              context.phi))));
+  for (size_t i = 0; i < n0; ++i) out->push_back(fresh_recipe());
+
+  while (out->size() < context.target_recipes) {
+    const double ratio = static_cast<double>(pool.size()) /
+                         static_cast<double>(out->size());
+    if (ratio >= context.phi || reserve.empty()) {
+      out->push_back(fresh_recipe());
+    } else {
+      const size_t k = rng.NextBounded(reserve.size());
+      pool.push_back(reserve[k]);
+      reserve[k] = reserve.back();
+      reserve.pop_back();
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace culevo

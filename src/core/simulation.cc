@@ -1,0 +1,80 @@
+#include "core/simulation.h"
+
+#include <atomic>
+#include <mutex>
+
+#include "util/rng.h"
+
+namespace culevo {
+
+TransactionSet RecipesToTransactions(const GeneratedRecipes& recipes) {
+  TransactionSet out;
+  for (const std::vector<IngredientId>& recipe : recipes) {
+    out.Add(std::vector<Item>(recipe.begin(), recipe.end()));
+  }
+  return out;
+}
+
+TransactionSet RecipesToCategoryTransactions(const GeneratedRecipes& recipes,
+                                             const Lexicon& lexicon) {
+  TransactionSet out;
+  for (const std::vector<IngredientId>& recipe : recipes) {
+    bool present[kNumCategories] = {};
+    for (IngredientId id : recipe) {
+      present[static_cast<int>(lexicon.category(id))] = true;
+    }
+    std::vector<Item> items;
+    for (int c = 0; c < kNumCategories; ++c) {
+      if (present[c]) items.push_back(static_cast<Item>(c));
+    }
+    out.Add(std::move(items));
+  }
+  return out;
+}
+
+Result<SimulationResult> RunSimulation(const EvolutionModel& model,
+                                       const CuisineContext& context,
+                                       const Lexicon& lexicon,
+                                       const SimulationConfig& config,
+                                       ThreadPool* pool) {
+  if (config.replicas <= 0) {
+    return Status::InvalidArgument("replicas must be positive");
+  }
+
+  const size_t n = static_cast<size_t>(config.replicas);
+  std::vector<RankFrequency> ingredient_curves(n);
+  std::vector<RankFrequency> category_curves(n);
+  std::vector<Status> statuses(n);
+
+  const auto run_replica = [&](size_t k) {
+    GeneratedRecipes recipes;
+    Status status =
+        model.Generate(context, DeriveSeed(config.seed, k), &recipes);
+    if (!status.ok()) {
+      statuses[k] = std::move(status);
+      return;
+    }
+    ingredient_curves[k] =
+        CombinationCurve(RecipesToTransactions(recipes), config.mining);
+    category_curves[k] = CombinationCurve(
+        RecipesToCategoryTransactions(recipes, lexicon), config.mining);
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelFor(n, run_replica);
+  } else {
+    for (size_t k = 0; k < n; ++k) run_replica(k);
+  }
+
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+
+  SimulationResult result;
+  result.ingredient_curve = AverageRankFrequencies(ingredient_curves);
+  result.category_curve = AverageRankFrequencies(category_curves);
+  result.replica_ingredient_curves = std::move(ingredient_curves);
+  return result;
+}
+
+}  // namespace culevo

@@ -1,0 +1,55 @@
+#ifndef CULEVO_CORE_SIMULATION_H_
+#define CULEVO_CORE_SIMULATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/combinations.h"
+#include "analysis/rank_frequency.h"
+#include "core/evolution_model.h"
+#include "lexicon/lexicon.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace culevo {
+
+/// Multi-replica simulation settings. The paper aggregates 100 replicas;
+/// benches default lower for the single-core harness and expose a flag.
+struct SimulationConfig {
+  int replicas = 100;
+  uint64_t seed = 42;
+  CombinationConfig mining;  ///< 5% relative support, Eclat by default.
+};
+
+/// Aggregated output of running one model on one cuisine context.
+struct SimulationResult {
+  /// Rank-frequency of frequent ingredient combinations, averaged
+  /// position-wise across replicas (the paper's "aggregated statistics").
+  RankFrequency ingredient_curve;
+  /// Same for category combinations.
+  RankFrequency category_curve;
+  /// Per-replica ingredient curves (for dispersion analysis).
+  std::vector<RankFrequency> replica_ingredient_curves;
+};
+
+/// Runs `config.replicas` independent replicas of `model` on `context`
+/// (replica k uses DeriveSeed(config.seed, k)), mines each generated recipe
+/// pool at the configured support, and aggregates the curves. If `pool` is
+/// non-null the replicas run on it concurrently; results are identical
+/// either way.
+Result<SimulationResult> RunSimulation(const EvolutionModel& model,
+                                       const CuisineContext& context,
+                                       const Lexicon& lexicon,
+                                       const SimulationConfig& config,
+                                       ThreadPool* pool = nullptr);
+
+/// Builds a TransactionSet directly from generated recipes.
+TransactionSet RecipesToTransactions(const GeneratedRecipes& recipes);
+
+/// Projects generated recipes to category transactions.
+TransactionSet RecipesToCategoryTransactions(const GeneratedRecipes& recipes,
+                                             const Lexicon& lexicon);
+
+}  // namespace culevo
+
+#endif  // CULEVO_CORE_SIMULATION_H_

@@ -1,0 +1,94 @@
+#include "core/sweeps.h"
+
+namespace culevo {
+namespace {
+
+/// Evaluates a single parameterized CopyMutateModel and reports its MAEs.
+Result<SweepPoint> EvaluateOne(const RecipeCorpus& corpus, CuisineId cuisine,
+                               const Lexicon& lexicon,
+                               const ModelParams& params, double value,
+                               const SimulationConfig& config,
+                               ThreadPool* pool) {
+  const CopyMutateModel model(&lexicon, params);
+  const std::vector<const EvolutionModel*> models = {&model};
+  Result<CuisineEvaluation> evaluation =
+      EvaluateCuisine(corpus, cuisine, lexicon, models, config, pool);
+  if (!evaluation.ok()) return evaluation.status();
+  SweepPoint point;
+  point.value = value;
+  point.mae_ingredient = evaluation.value().scores[0].mae_ingredient;
+  point.mae_category = evaluation.value().scores[0].mae_category;
+  return point;
+}
+
+}  // namespace
+
+Result<std::vector<SweepPoint>> SweepMixtureProb(
+    const RecipeCorpus& corpus, CuisineId cuisine, const Lexicon& lexicon,
+    const std::vector<double>& probs, const ModelParams& base,
+    const SimulationConfig& config, ThreadPool* pool) {
+  std::vector<SweepPoint> points;
+  for (double p : probs) {
+    ModelParams params = base;
+    params.policy = ReplacementPolicy::kMixture;
+    params.mixture_cross_prob = p;
+    Result<SweepPoint> point =
+        EvaluateOne(corpus, cuisine, lexicon, params, p, config, pool);
+    if (!point.ok()) return point.status();
+    points.push_back(point.value());
+  }
+  return points;
+}
+
+Result<std::vector<SweepPoint>> SweepMutationCount(
+    const RecipeCorpus& corpus, CuisineId cuisine, const Lexicon& lexicon,
+    const std::vector<int>& mutation_counts, const ModelParams& base,
+    const SimulationConfig& config, ThreadPool* pool) {
+  std::vector<SweepPoint> points;
+  for (int m : mutation_counts) {
+    ModelParams params = base;
+    params.mutations = m;
+    Result<SweepPoint> point = EvaluateOne(corpus, cuisine, lexicon, params,
+                                           static_cast<double>(m), config,
+                                           pool);
+    if (!point.ok()) return point.status();
+    points.push_back(point.value());
+  }
+  return points;
+}
+
+Result<std::vector<SweepPoint>> SweepInitialPool(
+    const RecipeCorpus& corpus, CuisineId cuisine, const Lexicon& lexicon,
+    const std::vector<int>& pool_sizes, const ModelParams& base,
+    const SimulationConfig& config, ThreadPool* pool) {
+  std::vector<SweepPoint> points;
+  for (int m : pool_sizes) {
+    ModelParams params = base;
+    params.initial_pool = m;
+    Result<SweepPoint> point = EvaluateOne(corpus, cuisine, lexicon, params,
+                                           static_cast<double>(m), config,
+                                           pool);
+    if (!point.ok()) return point.status();
+    points.push_back(point.value());
+  }
+  return points;
+}
+
+Result<std::vector<SweepPoint>> SweepSizeMutationRate(
+    const RecipeCorpus& corpus, CuisineId cuisine, const Lexicon& lexicon,
+    const std::vector<double>& rates, const ModelParams& base,
+    const SimulationConfig& config, ThreadPool* pool) {
+  std::vector<SweepPoint> points;
+  for (double rate : rates) {
+    ModelParams params = base;
+    params.insert_prob = rate;
+    params.delete_prob = rate;
+    Result<SweepPoint> point =
+        EvaluateOne(corpus, cuisine, lexicon, params, rate, config, pool);
+    if (!point.ok()) return point.status();
+    points.push_back(point.value());
+  }
+  return points;
+}
+
+}  // namespace culevo

@@ -1,0 +1,48 @@
+#ifndef CULEVO_CORE_SWEEPS_H_
+#define CULEVO_CORE_SWEEPS_H_
+
+#include <vector>
+
+#include "core/copy_mutate.h"
+#include "core/evaluator.h"
+
+namespace culevo {
+
+/// One point of a parameter sweep: the parameter value and the resulting
+/// ingredient-combination MAE against the empirical distribution.
+struct SweepPoint {
+  double value = 0.0;
+  double mae_ingredient = 0.0;
+  double mae_category = 0.0;
+};
+
+/// Ablation A: sweeps the CM-M cross-category probability p over `probs`.
+/// p=0 degenerates to CM-C behaviour, p=1 to CM-R ("creative liberty"
+/// spectrum, Section VI discussion).
+Result<std::vector<SweepPoint>> SweepMixtureProb(
+    const RecipeCorpus& corpus, CuisineId cuisine, const Lexicon& lexicon,
+    const std::vector<double>& probs, const ModelParams& base,
+    const SimulationConfig& config, ThreadPool* pool = nullptr);
+
+/// Ablation B: sweeps the per-copy mutation count M over `mutation_counts`.
+Result<std::vector<SweepPoint>> SweepMutationCount(
+    const RecipeCorpus& corpus, CuisineId cuisine, const Lexicon& lexicon,
+    const std::vector<int>& mutation_counts, const ModelParams& base,
+    const SimulationConfig& config, ThreadPool* pool = nullptr);
+
+/// Sweeps the initial ingredient-pool size m (the paper fixes m=20).
+Result<std::vector<SweepPoint>> SweepInitialPool(
+    const RecipeCorpus& corpus, CuisineId cuisine, const Lexicon& lexicon,
+    const std::vector<int>& pool_sizes, const ModelParams& base,
+    const SimulationConfig& config, ThreadPool* pool = nullptr);
+
+/// Ablation B': sweeps the insert/delete probability of the variable-size
+/// extension (both set to each value of `rates`).
+Result<std::vector<SweepPoint>> SweepSizeMutationRate(
+    const RecipeCorpus& corpus, CuisineId cuisine, const Lexicon& lexicon,
+    const std::vector<double>& rates, const ModelParams& base,
+    const SimulationConfig& config, ThreadPool* pool = nullptr);
+
+}  // namespace culevo
+
+#endif  // CULEVO_CORE_SWEEPS_H_

@@ -1,0 +1,86 @@
+#include "corpus/corpus_io.h"
+
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace culevo {
+
+Result<RecipeCorpus> ParseCorpusTsv(std::string_view text,
+                                    const Lexicon& lexicon,
+                                    bool skip_unknown) {
+  RecipeCorpus::Builder builder;
+  size_t line_no = 0;
+  for (const std::string& line : Split(text, '\n')) {
+    ++line_no;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const std::vector<std::string> fields = Split(trimmed, '\t');
+    if (fields.size() != 2) {
+      return Status::InvalidArgument(StrFormat(
+          "corpus line %zu: expected cuisine<TAB>ingredients", line_no));
+    }
+    Result<CuisineId> cuisine = CuisineFromCode(Trim(fields[0]));
+    if (!cuisine.ok()) {
+      return Status::InvalidArgument(
+          StrFormat("corpus line %zu: %s", line_no,
+                    cuisine.status().message().c_str()));
+    }
+    std::vector<IngredientId> ids;
+    for (const std::string& mention : SplitAndTrim(fields[1], ';')) {
+      std::optional<IngredientId> id = lexicon.Find(mention);
+      if (!id.has_value()) {
+        // Fall back to the scanning protocol for free-form mentions.
+        std::vector<IngredientId> resolved = lexicon.ResolveMention(mention);
+        if (resolved.empty()) {
+          if (skip_unknown) continue;
+          return Status::NotFound(StrFormat(
+              "corpus line %zu: unknown ingredient '%s'", line_no,
+              mention.c_str()));
+        }
+        ids.insert(ids.end(), resolved.begin(), resolved.end());
+        continue;
+      }
+      ids.push_back(*id);
+    }
+    if (ids.empty() && skip_unknown) continue;
+    Status status = builder.Add(cuisine.value(), std::move(ids));
+    if (!status.ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "corpus line %zu: %s", line_no, status.message().c_str()));
+    }
+  }
+  return builder.Build();
+}
+
+Result<RecipeCorpus> ReadCorpusTsv(const std::string& path,
+                                   const Lexicon& lexicon,
+                                   bool skip_unknown) {
+  Result<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  return ParseCorpusTsv(content.value(), lexicon, skip_unknown);
+}
+
+std::string FormatCorpusTsv(const RecipeCorpus& corpus,
+                            const Lexicon& lexicon) {
+  std::string out = "# culevo corpus: cuisine\tingredient;ingredient;...\n";
+  for (uint32_t i = 0; i < corpus.num_recipes(); ++i) {
+    const RecipeView view = corpus.recipe(i);
+    out += CuisineAt(view.cuisine).code;
+    out += '\t';
+    bool first = true;
+    for (IngredientId id : view.ingredients) {
+      if (!first) out += ';';
+      out += lexicon.name(id);
+      first = false;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCorpusTsv(const std::string& path, const RecipeCorpus& corpus,
+                      const Lexicon& lexicon) {
+  return WriteStringToFile(path, FormatCorpusTsv(corpus, lexicon));
+}
+
+}  // namespace culevo

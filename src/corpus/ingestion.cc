@@ -1,0 +1,88 @@
+#include "corpus/ingestion.h"
+
+#include <algorithm>
+#include <map>
+
+#include "text/ingredient_parser.h"
+#include "text/stemmer.h"
+#include "util/strings.h"
+
+namespace culevo {
+
+Result<RecipeCorpus> IngestRawRecipes(const std::vector<RawRecipe>& raw,
+                                      const Lexicon& lexicon,
+                                      IngestionReport* report) {
+  IngestionReport local_report;
+  IngestionReport& r = report != nullptr ? *report : local_report;
+  r = IngestionReport{};
+  std::map<std::string, size_t> unresolved;
+
+  RecipeCorpus::Builder builder;
+  for (const RawRecipe& recipe : raw) {
+    ++r.recipes_in;
+    Result<CuisineId> cuisine = CuisineFromCode(recipe.cuisine_code);
+    if (!cuisine.ok()) {
+      ++r.recipes_dropped;
+      continue;
+    }
+    std::vector<IngredientId> ids;
+    for (const std::string& line : recipe.ingredient_lines) {
+      ++r.lines_in;
+      const ParsedIngredientLine parsed = ParseIngredientLine(line);
+      const std::vector<IngredientId> resolved =
+          lexicon.ResolveMention(parsed.mention);
+      if (resolved.empty()) {
+        // Stemmed form: canonical key for the curation worklist.
+        if (!parsed.mention.empty()) ++unresolved[StemPhrase(parsed.mention)];
+        continue;
+      }
+      ++r.lines_resolved;
+      ids.insert(ids.end(), resolved.begin(), resolved.end());
+    }
+    if (ids.empty()) {
+      ++r.recipes_dropped;
+      continue;
+    }
+    CULEVO_RETURN_IF_ERROR(builder.Add(cuisine.value(), std::move(ids)));
+    ++r.recipes_ingested;
+  }
+
+  r.unresolved_mentions.assign(unresolved.begin(), unresolved.end());
+  std::sort(r.unresolved_mentions.begin(), r.unresolved_mentions.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  return builder.Build();
+}
+
+std::vector<RawRecipe> ParseRawRecipeText(std::string_view text) {
+  std::vector<RawRecipe> out;
+  RawRecipe current;
+  bool in_block = false;
+  const auto flush = [&]() {
+    if (in_block && !current.cuisine_code.empty()) {
+      out.push_back(std::move(current));
+    }
+    current = RawRecipe{};
+    in_block = false;
+  };
+  for (const std::string& line : Split(text, '\n')) {
+    const std::string_view trimmed = Trim(line);
+    if (!trimmed.empty() && trimmed.front() == '#') continue;
+    if (trimmed.empty()) {
+      flush();
+      continue;
+    }
+    if (!in_block) {
+      current.cuisine_code = std::string(trimmed);
+      in_block = true;
+    } else {
+      current.ingredient_lines.emplace_back(trimmed);
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace culevo

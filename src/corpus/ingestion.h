@@ -1,0 +1,61 @@
+#ifndef CULEVO_CORPUS_INGESTION_H_
+#define CULEVO_CORPUS_INGESTION_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "corpus/recipe_corpus.h"
+#include "lexicon/lexicon.h"
+#include "util/status.h"
+
+namespace culevo {
+
+/// The data-compilation stage of Section II: turning raw scraped recipes
+/// (free-text ingredient lines) into standardized (recipe × ingredient-id
+/// × cuisine) tuples via the parsing + aliasing protocol.
+
+/// One raw recipe as a scraper would deliver it.
+struct RawRecipe {
+  std::string cuisine_code;             ///< e.g. "ITA".
+  std::vector<std::string> ingredient_lines;  ///< Free-text lines.
+};
+
+/// Ingestion accounting, mirroring the curation statistics a data paper
+/// reports.
+struct IngestionReport {
+  size_t recipes_in = 0;        ///< Raw recipes seen.
+  size_t recipes_ingested = 0;  ///< Recipes that produced >= 1 entity.
+  size_t recipes_dropped = 0;   ///< Empty after resolution / bad cuisine.
+  size_t lines_in = 0;          ///< Ingredient lines seen.
+  size_t lines_resolved = 0;    ///< Lines yielding >= 1 entity.
+  /// Distinct unresolved mentions with occurrence counts, most frequent
+  /// first (the manual-curation worklist).
+  std::vector<std::pair<std::string, size_t>> unresolved_mentions;
+
+  double line_resolution_rate() const {
+    return lines_in == 0 ? 0.0
+                         : static_cast<double>(lines_resolved) /
+                               static_cast<double>(lines_in);
+  }
+};
+
+/// Ingests raw recipes: each line goes through ParseIngredientLine (to
+/// strip quantities, units and preparations) and the resulting mention
+/// through Lexicon::ResolveMention. Recipes whose cuisine code is unknown
+/// or that resolve to zero entities are dropped (counted in the report).
+/// Never fails on content; returns InvalidArgument only if `report` or
+/// the output pointer is needed but null.
+Result<RecipeCorpus> IngestRawRecipes(const std::vector<RawRecipe>& raw,
+                                      const Lexicon& lexicon,
+                                      IngestionReport* report = nullptr);
+
+/// Parses the on-disk raw format: blocks separated by blank lines, first
+/// line of a block = cuisine code, following lines = ingredient lines.
+/// '#' lines are comments.
+std::vector<RawRecipe> ParseRawRecipeText(std::string_view text);
+
+}  // namespace culevo
+
+#endif  // CULEVO_CORPUS_INGESTION_H_

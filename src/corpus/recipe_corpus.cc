@@ -1,0 +1,99 @@
+#include "corpus/recipe_corpus.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace culevo {
+
+Status RecipeCorpus::Builder::Add(CuisineId cuisine,
+                                  std::vector<IngredientId> ingredients) {
+  if (cuisine >= kNumCuisines) {
+    return Status::InvalidArgument(
+        StrFormat("cuisine id %u out of range", unsigned{cuisine}));
+  }
+  std::sort(ingredients.begin(), ingredients.end());
+  ingredients.erase(std::unique(ingredients.begin(), ingredients.end()),
+                    ingredients.end());
+  if (ingredients.empty()) {
+    return Status::InvalidArgument("recipe has no ingredients");
+  }
+  flat_.insert(flat_.end(), ingredients.begin(), ingredients.end());
+  offsets_.push_back(static_cast<uint32_t>(flat_.size()));
+  cuisines_.push_back(cuisine);
+  return Status::Ok();
+}
+
+RecipeCorpus RecipeCorpus::Builder::Build() {
+  RecipeCorpus corpus;
+  corpus.flat_ = std::move(flat_);
+  corpus.offsets_ = std::move(offsets_);
+  corpus.cuisines_ = std::move(cuisines_);
+  for (uint32_t i = 0; i < corpus.cuisines_.size(); ++i) {
+    corpus.by_cuisine_[corpus.cuisines_[i]].push_back(i);
+  }
+  flat_.clear();
+  offsets_ = {0};
+  cuisines_.clear();
+  return corpus;
+}
+
+RecipeView RecipeCorpus::recipe(uint32_t index) const {
+  return RecipeView{index, cuisine_of(index), ingredients_of(index)};
+}
+
+std::span<const IngredientId> RecipeCorpus::ingredients_of(
+    uint32_t index) const {
+  CULEVO_DCHECK(index < num_recipes());
+  const uint32_t begin = offsets_[index];
+  const uint32_t end = offsets_[index + 1];
+  return std::span<const IngredientId>(flat_.data() + begin, end - begin);
+}
+
+const std::vector<uint32_t>& RecipeCorpus::recipes_of(
+    CuisineId cuisine) const {
+  CULEVO_CHECK(cuisine < kNumCuisines);
+  return by_cuisine_[cuisine];
+}
+
+namespace {
+
+std::vector<IngredientId> UniqueOf(const RecipeCorpus& corpus,
+                                   const std::vector<uint32_t>& indices) {
+  std::vector<bool> seen(kInvalidIngredient, false);
+  std::vector<IngredientId> out;
+  for (uint32_t index : indices) {
+    for (IngredientId id : corpus.ingredients_of(index)) {
+      if (!seen[id]) {
+        seen[id] = true;
+        out.push_back(id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<IngredientId> RecipeCorpus::UniqueIngredients(
+    CuisineId cuisine) const {
+  return UniqueOf(*this, recipes_of(cuisine));
+}
+
+std::vector<IngredientId> RecipeCorpus::UniqueIngredients() const {
+  std::vector<uint32_t> all(num_recipes());
+  for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+  return UniqueOf(*this, all);
+}
+
+double RecipeCorpus::MeanRecipeSize(CuisineId cuisine) const {
+  const std::vector<uint32_t>& indices = recipes_of(cuisine);
+  if (indices.empty()) return 0.0;
+  size_t total = 0;
+  for (uint32_t index : indices) total += ingredients_of(index).size();
+  return static_cast<double>(total) / static_cast<double>(indices.size());
+}
+
+}  // namespace culevo

@@ -1,0 +1,92 @@
+#ifndef CULEVO_CORPUS_RECIPE_CORPUS_H_
+#define CULEVO_CORPUS_RECIPE_CORPUS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "corpus/cuisine.h"
+#include "lexicon/lexicon.h"
+#include "util/status.h"
+
+namespace culevo {
+
+/// Lightweight view of one recipe inside a RecipeCorpus.
+struct RecipeView {
+  uint32_t index;                            ///< Recipe index in the corpus.
+  CuisineId cuisine;                         ///< Geo-cultural region.
+  std::span<const IngredientId> ingredients; ///< Sorted, unique entity ids.
+
+  size_t size() const { return ingredients.size(); }
+};
+
+/// Columnar (CSR-layout) recipe store: a flat ingredient-id array plus
+/// per-recipe offsets and a parallel cuisine column. Recipes are stored as
+/// sorted unique id sets — the canonical form both the miners and the
+/// evolution models operate on.
+///
+/// Immutable after Build(); cheap to copy views from, thread-safe to read.
+class RecipeCorpus {
+ public:
+  /// Incremental construction. Ingredient lists are deduplicated and
+  /// sorted; empty recipes are rejected.
+  class Builder {
+   public:
+    /// Adds one recipe. Returns InvalidArgument for an empty ingredient
+    /// list or an out-of-range cuisine.
+    Status Add(CuisineId cuisine, std::vector<IngredientId> ingredients);
+
+    /// Number of recipes added so far.
+    size_t size() const { return cuisines_.size(); }
+
+    /// Finalizes the corpus. The builder is left empty.
+    RecipeCorpus Build();
+
+   private:
+    std::vector<IngredientId> flat_;
+    std::vector<uint32_t> offsets_ = {0};
+    std::vector<CuisineId> cuisines_;
+  };
+
+  RecipeCorpus() = default;
+
+  size_t num_recipes() const { return cuisines_.size(); }
+
+  /// Precondition: index < num_recipes().
+  RecipeView recipe(uint32_t index) const;
+  CuisineId cuisine_of(uint32_t index) const { return cuisines_[index]; }
+  std::span<const IngredientId> ingredients_of(uint32_t index) const;
+
+  /// Indices of all recipes belonging to `cuisine` (ascending).
+  const std::vector<uint32_t>& recipes_of(CuisineId cuisine) const;
+
+  /// Number of recipes in `cuisine`.
+  size_t num_recipes_in(CuisineId cuisine) const {
+    return recipes_of(cuisine).size();
+  }
+
+  /// Distinct ingredient ids used anywhere in `cuisine` (sorted).
+  std::vector<IngredientId> UniqueIngredients(CuisineId cuisine) const;
+
+  /// Distinct ingredient ids used anywhere in the corpus (sorted).
+  std::vector<IngredientId> UniqueIngredients() const;
+
+  /// Mean ingredient count per recipe in `cuisine`; 0 if empty.
+  double MeanRecipeSize(CuisineId cuisine) const;
+
+  /// Total ingredient-mention count (sum of recipe sizes).
+  size_t total_mentions() const { return flat_.size(); }
+
+ private:
+  friend class Builder;
+
+  std::vector<IngredientId> flat_;
+  std::vector<uint32_t> offsets_ = {0};
+  std::vector<CuisineId> cuisines_;
+  std::vector<std::vector<uint32_t>> by_cuisine_ =
+      std::vector<std::vector<uint32_t>>(kNumCuisines);
+};
+
+}  // namespace culevo
+
+#endif  // CULEVO_CORPUS_RECIPE_CORPUS_H_

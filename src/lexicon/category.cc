@@ -1,0 +1,54 @@
+#include "lexicon/category.h"
+
+#include <array>
+#include <cctype>
+#include <string>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace culevo {
+namespace {
+
+constexpr std::array<std::string_view, kNumCategories> kNames = {
+    "Vegetable",     "Dairy",     "Legume",   "Maize",
+    "Cereal",        "Meat",      "Nuts and Seeds", "Plant",
+    "Fish",          "Seafood",   "Spice",    "Bakery",
+    "Beverage Alcoholic", "Beverage", "Essential Oil", "Flower",
+    "Fruit",         "Fungus",    "Herb",     "Additive",
+    "Dish",
+};
+
+std::string CompactName(std::string_view name) {
+  std::string out;
+  for (char c : name) {
+    if (c != ' ') out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view CategoryName(Category category) {
+  const int index = static_cast<int>(category);
+  CULEVO_CHECK(index >= 0 && index < kNumCategories);
+  return kNames[static_cast<size_t>(index)];
+}
+
+Result<Category> CategoryFromName(std::string_view name) {
+  const std::string compact = CompactName(name);
+  for (int i = 0; i < kNumCategories; ++i) {
+    if (compact == CompactName(kNames[static_cast<size_t>(i)])) {
+      return static_cast<Category>(i);
+    }
+  }
+  return Status::NotFound("unknown category: " + std::string(name));
+}
+
+Category CategoryFromIndex(int index) {
+  CULEVO_CHECK(index >= 0 && index < kNumCategories);
+  return static_cast<Category>(index);
+}
+
+}  // namespace culevo

@@ -1,0 +1,51 @@
+#ifndef CULEVO_LEXICON_CATEGORY_H_
+#define CULEVO_LEXICON_CATEGORY_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace culevo {
+
+/// The paper's 21 manually assigned ingredient categories (Section II).
+enum class Category : uint8_t {
+  kVegetable = 0,
+  kDairy,
+  kLegume,
+  kMaize,
+  kCereal,
+  kMeat,
+  kNutsAndSeeds,
+  kPlant,
+  kFish,
+  kSeafood,
+  kSpice,
+  kBakery,
+  kBeverageAlcoholic,
+  kBeverage,
+  kEssentialOil,
+  kFlower,
+  kFruit,
+  kFungus,
+  kHerb,
+  kAdditive,
+  kDish,
+};
+
+inline constexpr int kNumCategories = 21;
+
+/// Display name as used in the paper ("Nuts and Seeds", "Beverage
+/// Alcoholic", ...).
+std::string_view CategoryName(Category category);
+
+/// Case-insensitive parse of a category display name (also accepts
+/// compact forms like "nutsandseeds").
+Result<Category> CategoryFromName(std::string_view name);
+
+/// Iteration helper: all categories in declaration order.
+Category CategoryFromIndex(int index);
+
+}  // namespace culevo
+
+#endif  // CULEVO_LEXICON_CATEGORY_H_

@@ -1,0 +1,28 @@
+#include "lexicon/world_lexicon.h"
+
+#include "lexicon/lexicon_io.h"
+#include "util/check.h"
+
+namespace culevo {
+
+namespace internal_world_lexicon {
+// Defined in world_lexicon_data.cc.
+extern const char kWorldLexiconTsv[];
+}  // namespace internal_world_lexicon
+
+std::string_view WorldLexiconTsv() {
+  return internal_world_lexicon::kWorldLexiconTsv;
+}
+
+const Lexicon& WorldLexicon() {
+  // Function-local static reference; never destroyed (Google-style safe
+  // static). Parsing the embedded TSV is cheap (one-time, ~721 entities).
+  static const Lexicon& lexicon = []() -> const Lexicon& {
+    Result<Lexicon> parsed = ParseLexiconTsv(WorldLexiconTsv());
+    CULEVO_CHECK_OK(parsed.status());
+    return *new Lexicon(std::move(parsed).value());
+  }();
+  return lexicon;
+}
+
+}  // namespace culevo

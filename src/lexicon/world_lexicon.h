@@ -1,0 +1,24 @@
+#ifndef CULEVO_LEXICON_WORLD_LEXICON_H_
+#define CULEVO_LEXICON_WORLD_LEXICON_H_
+
+#include <string_view>
+
+#include "lexicon/lexicon.h"
+
+namespace culevo {
+
+/// The embedded standardized world-ingredient dictionary: 721 entities over
+/// the paper's 21 categories, 96 of them compound ingredients, with aliases.
+/// This is culevo's substitute for the FlavorDB-derived lexicon (see
+/// DESIGN.md §2); entity identity and category structure — the only
+/// properties the paper's analyses consume — match the paper's description.
+///
+/// Built once on first use; the reference stays valid for program lifetime.
+const Lexicon& WorldLexicon();
+
+/// The raw TSV the embedded lexicon is parsed from (for tooling and tests).
+std::string_view WorldLexiconTsv();
+
+}  // namespace culevo
+
+#endif  // CULEVO_LEXICON_WORLD_LEXICON_H_

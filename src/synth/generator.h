@@ -1,0 +1,52 @@
+#ifndef CULEVO_SYNTH_GENERATOR_H_
+#define CULEVO_SYNTH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "corpus/recipe_corpus.h"
+#include "lexicon/lexicon.h"
+#include "synth/cuisine_profile.h"
+#include "util/status.h"
+
+namespace culevo {
+
+/// Knobs of the synthetic "empirical" corpus (DESIGN.md §2). The defaults
+/// reproduce the paper's statistical signatures at full Table-I size.
+struct SynthConfig {
+  uint64_t seed = 0xC0FFEE;
+  /// Multiplies every cuisine's Table-I recipe count (0 < scale <= 1 for
+  /// fast runs; 1.0 = paper size).
+  double scale = 1.0;
+  /// Size of the primitive recipe pool each cuisine evolves from.
+  int seed_pool = 24;
+  /// Per-ingredient probability of replacement when a recipe is copied.
+  double mutation_rate = 0.35;
+  /// Probability that a recipe is composed fresh from the preference
+  /// distribution instead of copied from the pool.
+  double novelty_rate = 0.08;
+  /// Probability that a copied recipe's size is resampled from the
+  /// truncated-normal size distribution (trimming or extending the copy).
+  /// Keeps per-cuisine size distributions Gaussian (Fig. 1) while
+  /// preserving inherited combination structure.
+  double size_resample_rate = 0.5;
+};
+
+/// Generates one cuisine's recipes into `builder` (count recipes).
+///
+/// The generative process is copy-mutate-like — a seeded pool, copying of
+/// mother recipes, preference-weighted ingredient replacement with the
+/// profile's cross-category liberty — but is a distinct code path with
+/// distinct parameters from the fitted models in src/core (so fitting is
+/// a real inference task, not an identity check).
+Status SynthesizeCuisine(const Lexicon& lexicon, const CuisineProfile& profile,
+                         const SynthConfig& config, int count,
+                         RecipeCorpus::Builder* builder);
+
+/// Generates the full 25-cuisine world corpus with Table-I-calibrated
+/// per-cuisine recipe counts (times config.scale, minimum 30 recipes).
+Result<RecipeCorpus> SynthesizeWorldCorpus(const Lexicon& lexicon,
+                                           const SynthConfig& config = {});
+
+}  // namespace culevo
+
+#endif  // CULEVO_SYNTH_GENERATOR_H_

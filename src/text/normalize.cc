@@ -1,0 +1,81 @@
+#include "text/normalize.h"
+
+#include <cctype>
+
+namespace culevo {
+namespace {
+
+// Folds the UTF-8 two-byte sequences for common accented Latin letters to
+// an ASCII letter; returns 0 if not a recognized sequence.
+char FoldUtf8Pair(unsigned char b0, unsigned char b1) {
+  // Latin-1 supplement: 0xC3 0x80..0xBF.
+  if (b0 != 0xC3) return 0;
+  if (b1 >= 0x80 && b1 <= 0x85) return 'a';  // À..Å
+  if (b1 == 0x87) return 'c';                // Ç
+  if (b1 >= 0x88 && b1 <= 0x8B) return 'e';  // È..Ë
+  if (b1 >= 0x8C && b1 <= 0x8F) return 'i';  // Ì..Ï
+  if (b1 == 0x91) return 'n';                // Ñ
+  if (b1 >= 0x92 && b1 <= 0x96) return 'o';  // Ò..Ö
+  if (b1 >= 0x99 && b1 <= 0x9C) return 'u';  // Ù..Ü
+  if (b1 >= 0xA0 && b1 <= 0xA5) return 'a';  // à..å
+  if (b1 == 0xA7) return 'c';                // ç
+  if (b1 >= 0xA8 && b1 <= 0xAB) return 'e';  // è..ë
+  if (b1 >= 0xAC && b1 <= 0xAF) return 'i';  // ì..ï
+  if (b1 == 0xB1) return 'n';                // ñ
+  if (b1 >= 0xB2 && b1 <= 0xB6) return 'o';  // ò..ö
+  if (b1 >= 0xB9 && b1 <= 0xBC) return 'u';  // ù..ü
+  return 0;
+}
+
+}  // namespace
+
+bool IsNormalizedChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == ' ';
+}
+
+std::string NormalizeMention(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  bool pending_space = false;
+
+  const auto push = [&](char c) {
+    if (c == ' ') {
+      if (!out.empty()) pending_space = true;
+      return;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+  };
+
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const unsigned char b = static_cast<unsigned char>(raw[i]);
+    if (b < 0x80) {
+      const char lower =
+          static_cast<char>(std::tolower(static_cast<unsigned char>(b)));
+      if (IsNormalizedChar(lower) && lower != ' ') {
+        push(lower);
+      } else {
+        // Punctuation, hyphens, underscores, whitespace -> word boundary.
+        push(' ');
+      }
+      continue;
+    }
+    if (i + 1 < raw.size()) {
+      const char folded =
+          FoldUtf8Pair(b, static_cast<unsigned char>(raw[i + 1]));
+      if (folded != 0) {
+        push(folded);
+        ++i;
+        continue;
+      }
+    }
+    // Unknown multi-byte sequence: treat as a boundary and skip the byte.
+    push(' ');
+  }
+  return out;
+}
+
+}  // namespace culevo

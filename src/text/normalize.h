@@ -1,0 +1,23 @@
+#ifndef CULEVO_TEXT_NORMALIZE_H_
+#define CULEVO_TEXT_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+
+namespace culevo {
+
+/// Normalizes an ingredient mention for lexicon lookup, mirroring the
+/// aliasing protocol of Bagler & Singh (ICDEW 2018): lowercase, fold common
+/// Latin-1/UTF-8 accents to ASCII, map punctuation/hyphens to spaces, and
+/// collapse whitespace runs.
+///
+///   "Crème Fraîche"  -> "creme fraiche"
+///   "extra-virgin  Olive_Oil" -> "extra virgin olive oil"
+std::string NormalizeMention(std::string_view raw);
+
+/// True if `c` is a character that survives normalization (a-z, 0-9, space).
+bool IsNormalizedChar(char c);
+
+}  // namespace culevo
+
+#endif  // CULEVO_TEXT_NORMALIZE_H_

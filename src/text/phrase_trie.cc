@@ -1,0 +1,75 @@
+#include "text/phrase_trie.h"
+
+#include "util/check.h"
+
+namespace culevo {
+
+void PhraseTrie::Insert(const std::vector<std::string>& tokens,
+                        int64_t value) {
+  CULEVO_CHECK(value >= 0);
+  CULEVO_CHECK(!tokens.empty());
+  uint32_t node = 0;
+  for (const std::string& token : tokens) {
+    auto [it, inserted] =
+        nodes_[node].children.try_emplace(token, 0);
+    if (inserted) {
+      it->second = static_cast<uint32_t>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    node = it->second;
+  }
+  if (nodes_[node].value == kNoValue) ++num_phrases_;
+  nodes_[node].value = value;
+}
+
+const PhraseTrie::Node* PhraseTrie::Walk(
+    const std::vector<std::string>& tokens) const {
+  uint32_t node = 0;
+  for (const std::string& token : tokens) {
+    auto it = nodes_[node].children.find(token);
+    if (it == nodes_[node].children.end()) return nullptr;
+    node = it->second;
+  }
+  return &nodes_[node];
+}
+
+int64_t PhraseTrie::Lookup(const std::vector<std::string>& tokens) const {
+  const Node* node = Walk(tokens);
+  return node != nullptr ? node->value : kNoValue;
+}
+
+int64_t PhraseTrie::LongestMatch(const std::vector<std::string>& tokens,
+                                 size_t start, size_t* match_len) const {
+  *match_len = 0;
+  int64_t best = kNoValue;
+  uint32_t node = 0;
+  for (size_t i = start; i < tokens.size(); ++i) {
+    auto it = nodes_[node].children.find(tokens[i]);
+    if (it == nodes_[node].children.end()) break;
+    node = it->second;
+    if (nodes_[node].value != kNoValue) {
+      best = nodes_[node].value;
+      *match_len = i - start + 1;
+    }
+  }
+  return best;
+}
+
+std::vector<int64_t> PhraseTrie::ScanAll(
+    const std::vector<std::string>& tokens) const {
+  std::vector<int64_t> out;
+  size_t i = 0;
+  while (i < tokens.size()) {
+    size_t len = 0;
+    const int64_t value = LongestMatch(tokens, i, &len);
+    if (value != kNoValue) {
+      out.push_back(value);
+      i += len;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace culevo

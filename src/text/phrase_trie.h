@@ -1,0 +1,52 @@
+#ifndef CULEVO_TEXT_PHRASE_TRIE_H_
+#define CULEVO_TEXT_PHRASE_TRIE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace culevo {
+
+/// Word-level trie mapping token sequences to integer payloads. Supports
+/// longest-match scanning, which implements the aliasing protocol's rule
+/// that compound ingredients ("ginger garlic paste") win over their parts
+/// ("ginger", "garlic").
+class PhraseTrie {
+ public:
+  static constexpr int64_t kNoValue = -1;
+
+  /// Inserts `tokens` -> `value` (value must be >= 0). Later inserts of the
+  /// same phrase overwrite earlier ones.
+  void Insert(const std::vector<std::string>& tokens, int64_t value);
+
+  /// Exact lookup. Returns kNoValue if absent.
+  int64_t Lookup(const std::vector<std::string>& tokens) const;
+
+  /// Finds the longest phrase starting at `tokens[start]` that has a value.
+  /// Returns its value and sets *match_len; returns kNoValue (match_len 0)
+  /// if no phrase starts there.
+  int64_t LongestMatch(const std::vector<std::string>& tokens, size_t start,
+                       size_t* match_len) const;
+
+  /// Scans `tokens` left to right with longest-match semantics and returns
+  /// the values of all matched phrases (unmatched tokens are skipped).
+  std::vector<int64_t> ScanAll(const std::vector<std::string>& tokens) const;
+
+  size_t num_phrases() const { return num_phrases_; }
+
+ private:
+  struct Node {
+    std::map<std::string, uint32_t> children;
+    int64_t value = kNoValue;
+  };
+
+  const Node* Walk(const std::vector<std::string>& tokens) const;
+
+  std::vector<Node> nodes_ = {Node{}};
+  size_t num_phrases_ = 0;
+};
+
+}  // namespace culevo
+
+#endif  // CULEVO_TEXT_PHRASE_TRIE_H_

@@ -1,0 +1,42 @@
+#include "text/stemmer.h"
+
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "util/strings.h"
+
+namespace culevo {
+
+std::string StemToken(std::string_view token) {
+  std::string t(token);
+  if (t.size() <= 3) return t;
+
+  if (EndsWith(t, "ies") && t.size() > 4) {
+    t.resize(t.size() - 3);
+    t.push_back('y');
+    return t;
+  }
+  if (EndsWith(t, "oes")) {
+    t.resize(t.size() - 2);
+    return t;
+  }
+  if (EndsWith(t, "ches") || EndsWith(t, "shes") || EndsWith(t, "sses") ||
+      EndsWith(t, "xes") || EndsWith(t, "zes")) {
+    t.resize(t.size() - 2);
+    return t;
+  }
+  if (EndsWith(t, "s") && !EndsWith(t, "ss") && !EndsWith(t, "us") &&
+      !EndsWith(t, "is")) {
+    t.resize(t.size() - 1);
+    return t;
+  }
+  return t;
+}
+
+std::string StemPhrase(std::string_view normalized_phrase) {
+  std::vector<std::string> tokens = TokenizeNormalized(normalized_phrase);
+  for (std::string& token : tokens) token = StemToken(token);
+  return Join(tokens, " ");
+}
+
+}  // namespace culevo

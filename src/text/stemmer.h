@@ -1,0 +1,24 @@
+#ifndef CULEVO_TEXT_STEMMER_H_
+#define CULEVO_TEXT_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace culevo {
+
+/// Reduces an English noun token to a singular-ish stem so that surface
+/// variants ("tomatoes", "tomato") resolve to the same lexicon alias.
+/// Rules (applied to lowercase tokens, longest suffix first):
+///   *ies  -> *y     (berries -> berry), except short words (pies -> pie)
+///   *oes  -> *o     (tomatoes -> tomato)
+///   *ches/*shes/*sses/*xes/*zes -> strip "es"
+///   *s    -> strip "s", except *ss / *us / *is
+/// Tokens of length <= 3 are returned unchanged.
+std::string StemToken(std::string_view token);
+
+/// Stems every whitespace-separated token of a normalized phrase.
+std::string StemPhrase(std::string_view normalized_phrase);
+
+}  // namespace culevo
+
+#endif  // CULEVO_TEXT_STEMMER_H_

@@ -1,0 +1,18 @@
+#ifndef CULEVO_TEXT_TOKENIZER_H_
+#define CULEVO_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace culevo {
+
+/// Splits normalized text (see NormalizeMention) into word tokens.
+std::vector<std::string> TokenizeNormalized(std::string_view normalized);
+
+/// Normalizes and tokenizes a raw mention in one step.
+std::vector<std::string> TokenizeMention(std::string_view raw);
+
+}  // namespace culevo
+
+#endif  // CULEVO_TEXT_TOKENIZER_H_

@@ -1,0 +1,38 @@
+#ifndef CULEVO_UTIL_CHECK_H_
+#define CULEVO_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/status.h"
+
+/// Fatal invariant checks. These guard programmer errors (broken internal
+/// invariants), not user input — user input failures travel as Status.
+#define CULEVO_CHECK(cond)                                               \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#define CULEVO_CHECK_OK(status_expr)                                     \
+  do {                                                                   \
+    const ::culevo::Status culevo_check_status_ = (status_expr);         \
+    if (!culevo_check_status_.ok()) {                                    \
+      std::fprintf(stderr, "CHECK_OK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, culevo_check_status_.ToString().c_str());   \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (false)
+
+#ifndef NDEBUG
+#define CULEVO_DCHECK(cond) CULEVO_CHECK(cond)
+#else
+#define CULEVO_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#endif
+
+#endif  // CULEVO_UTIL_CHECK_H_

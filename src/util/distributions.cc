@@ -1,0 +1,129 @@
+#include "util/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace culevo {
+
+double SampleStandardNormal(Rng* rng) {
+  // Box–Muller; guard against log(0).
+  double u1 = rng->NextDouble();
+  while (u1 <= 1e-300) u1 = rng->NextDouble();
+  const double u2 = rng->NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+int SampleTruncatedNormalInt(Rng* rng, double mean, double stddev, int lo,
+                             int hi) {
+  CULEVO_CHECK(lo <= hi);
+  if (lo == hi) return lo;
+  CULEVO_CHECK(stddev > 0.0);
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const double x = mean + stddev * SampleStandardNormal(rng);
+    const int rounded = static_cast<int>(std::lround(x));
+    if (rounded >= lo && rounded <= hi) return rounded;
+  }
+  // Pathological parameters (mean far outside [lo, hi]): clamp.
+  const double clamped = std::min(static_cast<double>(hi),
+                                  std::max(static_cast<double>(lo), mean));
+  return static_cast<int>(std::lround(clamped));
+}
+
+std::vector<double> ZipfWeights(size_t n, double exponent, double shift) {
+  CULEVO_CHECK(n > 0);
+  std::vector<double> weights(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    weights[r] = 1.0 / std::pow(static_cast<double>(r + 1) + shift, exponent);
+    total += weights[r];
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
+  CULEVO_CHECK(!weights.empty());
+  const size_t n = weights.size();
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  CULEVO_CHECK(total > 0.0);
+
+  prob_.resize(n);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    CULEVO_CHECK(weights[i] >= 0.0);
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+size_t DiscreteSampler::Sample(Rng* rng) const {
+  const size_t column = rng->NextBounded(prob_.size());
+  return rng->NextDouble() < prob_[column] ? column : alias_[column];
+}
+
+std::vector<uint32_t> SampleWithoutReplacement(Rng* rng, uint32_t n,
+                                               uint32_t k) {
+  CULEVO_CHECK(k <= n);
+  // Floyd's algorithm: O(k) expected insertions.
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  for (uint32_t j = n - k; j < n; ++j) {
+    const uint32_t t = static_cast<uint32_t>(rng->NextBounded(j + 1));
+    if (std::find(out.begin(), out.end(), t) == out.end()) {
+      out.push_back(t);
+    } else {
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> WeightedSampleWithoutReplacement(
+    Rng* rng, const std::vector<double>& weights, uint32_t k) {
+  CULEVO_CHECK(k <= weights.size());
+  std::vector<double> remaining = weights;
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  for (uint32_t round = 0; round < k; ++round) {
+    double total = std::accumulate(remaining.begin(), remaining.end(), 0.0);
+    CULEVO_CHECK(total > 0.0);
+    double target = rng->NextDouble() * total;
+    size_t chosen = remaining.size() - 1;
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      target -= remaining[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    out.push_back(static_cast<uint32_t>(chosen));
+    remaining[chosen] = 0.0;
+  }
+  return out;
+}
+
+}  // namespace culevo

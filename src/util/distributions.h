@@ -1,0 +1,56 @@
+#ifndef CULEVO_UTIL_DISTRIBUTIONS_H_
+#define CULEVO_UTIL_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace culevo {
+
+/// Standard normal variate via Box–Muller (one value per call; simple and
+/// deterministic across platforms, unlike std::normal_distribution).
+double SampleStandardNormal(Rng* rng);
+
+/// Normal(mean, stddev) truncated to the closed integer interval [lo, hi]
+/// by resampling, then rounded to the nearest integer. The paper's recipe
+/// sizes are "gaussian and bounded between 2 and 38" (Fig. 1).
+int SampleTruncatedNormalInt(Rng* rng, double mean, double stddev, int lo,
+                             int hi);
+
+/// Zipf–Mandelbrot weights w_r = 1 / (r + q)^s for ranks r = 1..n,
+/// normalized to sum to 1. Models ingredient rank-frequency curves.
+std::vector<double> ZipfWeights(size_t n, double exponent, double shift = 0.0);
+
+/// O(1) sampling from a fixed discrete distribution (Walker alias method).
+class DiscreteSampler {
+ public:
+  /// `weights` must be non-empty with non-negative entries and positive sum.
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  /// Returns an index in [0, size()) with probability proportional to its
+  /// weight.
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+/// Samples `k` distinct indices uniformly from [0, n) (Floyd's algorithm).
+/// Precondition: k <= n. Order of the result is unspecified but
+/// deterministic for a given RNG state.
+std::vector<uint32_t> SampleWithoutReplacement(Rng* rng, uint32_t n,
+                                               uint32_t k);
+
+/// Samples `k` distinct indices from [0, n) with probability proportional
+/// to `weights` (sequential rejection; suitable for k << n or modest n).
+std::vector<uint32_t> WeightedSampleWithoutReplacement(
+    Rng* rng, const std::vector<double>& weights, uint32_t k);
+
+}  // namespace culevo
+
+#endif  // CULEVO_UTIL_DISTRIBUTIONS_H_

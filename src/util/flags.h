@@ -1,0 +1,41 @@
+#ifndef CULEVO_UTIL_FLAGS_H_
+#define CULEVO_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace culevo {
+
+/// Minimal command-line flag parser for the benchmark and example binaries.
+///
+/// Accepts `--name=value`, `--name value`, and bare boolean `--name`.
+/// Everything that does not start with `--` is collected as a positional
+/// argument.
+class FlagParser {
+ public:
+  /// Parses argv; returns InvalidArgument on duplicate flags.
+  Status Parse(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  /// Typed getters with defaults. Malformed values fall back to the default
+  /// and are reported via GetError().
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  long long GetInt(const std::string& name, long long default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace culevo
+
+#endif  // CULEVO_UTIL_FLAGS_H_

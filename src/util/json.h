@@ -1,0 +1,57 @@
+#ifndef CULEVO_UTIL_JSON_H_
+#define CULEVO_UTIL_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace culevo {
+
+/// Minimal streaming JSON writer for machine-readable experiment output.
+/// Produces compact, valid JSON; keys and string values are escaped.
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("cuisine"); w.String("ITA");
+///   w.Key("mae");     w.Number(0.018);
+///   w.Key("curve");   w.BeginArray(); w.Number(1.0); w.EndArray();
+///   w.EndObject();
+///   std::string out = std::move(w).Take();
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Emits an object key. Must be called inside an object, before the
+  /// corresponding value.
+  void Key(std::string_view name);
+
+  void String(std::string_view value);
+  void Number(double value);
+  void Int(long long value);
+  void Bool(bool value);
+  void Null();
+
+  /// Finishes and returns the document. The writer is left empty.
+  std::string Take() &&;
+
+  /// Escapes a string for embedding in JSON (without surrounding quotes).
+  static std::string Escape(std::string_view raw);
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  /// Stack of contexts: 'o' = object expecting key, 'v' = object expecting
+  /// value, 'a' = array.
+  std::vector<char> stack_;
+  bool needs_comma_ = false;
+};
+
+}  // namespace culevo
+
+#endif  // CULEVO_UTIL_JSON_H_

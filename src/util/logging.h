@@ -1,0 +1,44 @@
+#ifndef CULEVO_UTIL_LOGGING_H_
+#define CULEVO_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace culevo {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits on destruction. Use through the macros.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace culevo
+
+#define CULEVO_LOG(level)                                      \
+  ::culevo::internal_logging::LogMessage(                      \
+      ::culevo::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // CULEVO_UTIL_LOGGING_H_

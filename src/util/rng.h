@@ -1,0 +1,82 @@
+#ifndef CULEVO_UTIL_RNG_H_
+#define CULEVO_UTIL_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace culevo {
+
+/// SplitMix64 step: the standard 64-bit finalizing mixer. Used both as a
+/// tiny standalone generator and to seed Xoshiro streams deterministically.
+inline uint64_t SplitMix64Next(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Derives a decorrelated seed for stream `stream` from a master `seed`.
+/// Replica k of a simulation uses DeriveSeed(seed, k) so replicas are
+/// reproducible and independent of execution order.
+inline uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {
+  uint64_t state = seed ^ (0xD1B54A32D192ED03ull * (stream + 1));
+  SplitMix64Next(&state);
+  return SplitMix64Next(&state);
+}
+
+/// Xoshiro256++ PRNG (Blackman & Vigna). Fast, 256-bit state, passes BigCrush.
+/// Satisfies std::uniform_random_bit_generator so it composes with <random>.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x853C49E6748FEA9Bull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (uint64_t& word : s_) word = SplitMix64Next(&sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  uint64_t operator()() {
+    const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double NextDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace culevo
+
+#endif  // CULEVO_UTIL_RNG_H_

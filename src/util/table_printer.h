@@ -1,0 +1,37 @@
+#ifndef CULEVO_UTIL_TABLE_PRINTER_H_
+#define CULEVO_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace culevo {
+
+/// Renders aligned plain-text tables for the benchmark harness output.
+///
+///   TablePrinter t({"Region", "Recipes", "Ingredients"});
+///   t.AddRow({"ITA", "23179", "506"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats a double with `precision` decimals.
+  static std::string Num(double value, int precision = 3);
+
+  /// Writes the table with a header underline and column padding.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace culevo
+
+#endif  // CULEVO_UTIL_TABLE_PRINTER_H_

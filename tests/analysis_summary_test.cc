@@ -1,0 +1,95 @@
+#include "analysis/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace culevo {
+namespace {
+
+TEST(SummarizeTest, KnownValues) {
+  const Summary s = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, 1.118, 1e-3);  // Population stddev.
+}
+
+TEST(SummarizeTest, EmptyInput) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(SummarizeTest, SingleValue) {
+  const Summary s = Summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(QuantileTest, InterpolatesLinearly) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 1.75);
+}
+
+TEST(QuantileTest, UnsortedInputIsSorted) {
+  EXPECT_DOUBLE_EQ(Quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(BoxplotTest, KnownQuartiles) {
+  const std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const BoxplotStats b = ComputeBoxplotStats(v);
+  EXPECT_DOUBLE_EQ(b.median, 5.0);
+  EXPECT_DOUBLE_EQ(b.q1, 3.0);
+  EXPECT_DOUBLE_EQ(b.q3, 7.0);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.max, 9.0);
+  EXPECT_DOUBLE_EQ(b.mean, 5.0);
+  // No outliers: whiskers reach the extremes.
+  EXPECT_DOUBLE_EQ(b.whisker_low, 1.0);
+  EXPECT_DOUBLE_EQ(b.whisker_high, 9.0);
+}
+
+TEST(BoxplotTest, OutliersClippedByTukeyFences) {
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 100.0};
+  const BoxplotStats b = ComputeBoxplotStats(v);
+  EXPECT_DOUBLE_EQ(b.max, 100.0);
+  EXPECT_LT(b.whisker_high, 100.0);  // 100 is an outlier.
+}
+
+TEST(GaussianFitTest, RecoverGaussianHistogram) {
+  // Discretized N(9, 3) histogram, the Fig. 1 regime.
+  Rng rng(42);
+  std::vector<size_t> histogram(40, 0);
+  for (int i = 0; i < 200000; ++i) {
+    ++histogram[static_cast<size_t>(
+        SampleTruncatedNormalInt(&rng, 9.0, 3.0, 0, 39))];
+  }
+  const GaussianFit fit = FitGaussianToHistogram(histogram);
+  EXPECT_NEAR(fit.mean, 9.0, 0.1);
+  EXPECT_NEAR(fit.stddev, 3.0, 0.1);
+  EXPECT_LT(fit.tv_error, 0.02);
+}
+
+TEST(GaussianFitTest, RejectsUniformHistogram) {
+  const std::vector<size_t> uniform(30, 100);
+  const GaussianFit fit = FitGaussianToHistogram(uniform);
+  EXPECT_GT(fit.tv_error, 0.05);
+}
+
+TEST(GaussianFitTest, SingleBinIsDegenerateButExact) {
+  std::vector<size_t> histogram(10, 0);
+  histogram[4] = 50;
+  const GaussianFit fit = FitGaussianToHistogram(histogram);
+  EXPECT_DOUBLE_EQ(fit.mean, 4.0);
+  EXPECT_DOUBLE_EQ(fit.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(fit.tv_error, 0.0);
+}
+
+}  // namespace
+}  // namespace culevo

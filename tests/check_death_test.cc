@@ -1,0 +1,50 @@
+// Failure-injection tests: fatal invariant checks must abort loudly rather
+// than corrupt state silently.
+
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include "lexicon/lexicon.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace culevo {
+namespace {
+
+TEST(CheckDeathTest, CheckFailsOnFalseCondition) {
+  EXPECT_DEATH({ CULEVO_CHECK(1 + 1 == 3); }, "CHECK failed");
+}
+
+TEST(CheckDeathTest, CheckOkFailsOnErrorStatus) {
+  EXPECT_DEATH({ CULEVO_CHECK_OK(Status::NotFound("gone")); },
+               "CHECK_OK failed");
+}
+
+TEST(CheckDeathTest, CheckPassesSilently) {
+  CULEVO_CHECK(true);
+  CULEVO_CHECK_OK(Status::Ok());
+}
+
+TEST(CheckDeathTest, SampleWithoutReplacementRejectsOversizedK) {
+  Rng rng(1);
+  EXPECT_DEATH({ SampleWithoutReplacement(&rng, 3, 4); }, "CHECK failed");
+}
+
+TEST(CheckDeathTest, DiscreteSamplerRejectsEmptyWeights) {
+  EXPECT_DEATH({ DiscreteSampler sampler((std::vector<double>())); },
+               "CHECK failed");
+}
+
+TEST(CheckDeathTest, DiscreteSamplerRejectsZeroMass) {
+  EXPECT_DEATH({ DiscreteSampler sampler(std::vector<double>{0.0, 0.0}); },
+               "CHECK failed");
+}
+
+TEST(CheckDeathTest, LexiconEntryRejectsBadId) {
+  Lexicon lexicon;
+  EXPECT_DEATH({ (void)lexicon.entry(5); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace culevo

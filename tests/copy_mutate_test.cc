@@ -1,0 +1,224 @@
+#include "core/copy_mutate.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace culevo {
+namespace {
+
+/// A lexicon with `categories` categories of `per_category` ingredients
+/// each; ids are assigned in category-major order.
+Lexicon GridLexicon(int categories, int per_category) {
+  Lexicon lexicon;
+  for (int c = 0; c < categories; ++c) {
+    for (int i = 0; i < per_category; ++i) {
+      EXPECT_TRUE(lexicon
+                      .Add("ing_" + std::to_string(c) + "_" +
+                               std::to_string(i),
+                           CategoryFromIndex(c))
+                      .ok());
+    }
+  }
+  return lexicon;
+}
+
+CuisineContext GridContext(const Lexicon& lexicon, size_t target,
+                           int mean_size) {
+  CuisineContext context;
+  context.cuisine = 0;
+  context.ingredients = lexicon.AllIds();
+  context.popularity.assign(context.ingredients.size(), 0.5);
+  context.mean_recipe_size = mean_size;
+  context.target_recipes = target;
+  context.phi = static_cast<double>(context.ingredients.size()) /
+                static_cast<double>(target);
+  return context;
+}
+
+TEST(CopyMutateTest, GeneratesTargetCountOfValidRecipes) {
+  const Lexicon lexicon = GridLexicon(4, 25);
+  const CuisineContext context = GridContext(lexicon, 400, 8);
+  GeneratedRecipes recipes;
+  ASSERT_TRUE(MakeCmR(&lexicon)->Generate(context, 1, &recipes).ok());
+  ASSERT_EQ(recipes.size(), 400u);
+  for (const std::vector<IngredientId>& recipe : recipes) {
+    EXPECT_EQ(recipe.size(), 8u);  // Constant s̄ without insert/delete.
+    EXPECT_TRUE(std::is_sorted(recipe.begin(), recipe.end()));
+    std::set<IngredientId> unique(recipe.begin(), recipe.end());
+    EXPECT_EQ(unique.size(), recipe.size());
+    for (IngredientId id : recipe) {
+      EXPECT_LT(id, lexicon.size());  // Only cuisine ingredients.
+    }
+  }
+}
+
+TEST(CopyMutateTest, DeterministicPerSeed) {
+  const Lexicon lexicon = GridLexicon(3, 30);
+  const CuisineContext context = GridContext(lexicon, 200, 7);
+  const auto model = MakeCmM(&lexicon);
+  GeneratedRecipes a;
+  GeneratedRecipes b;
+  ASSERT_TRUE(model->Generate(context, 42, &a).ok());
+  ASSERT_TRUE(model->Generate(context, 42, &b).ok());
+  EXPECT_EQ(a, b);
+  GeneratedRecipes c;
+  ASSERT_TRUE(model->Generate(context, 43, &c).ok());
+  EXPECT_NE(a, c);
+}
+
+TEST(CopyMutateTest, PaperFactoriesUsePaperParameters) {
+  const Lexicon lexicon = GridLexicon(2, 10);
+  EXPECT_EQ(MakeCmR(&lexicon)->params().mutations, 4);
+  EXPECT_EQ(MakeCmC(&lexicon)->params().mutations, 6);
+  EXPECT_EQ(MakeCmM(&lexicon)->params().mutations, 6);
+  EXPECT_EQ(MakeCmR(&lexicon)->params().initial_pool, 20);
+  EXPECT_DOUBLE_EQ(MakeCmM(&lexicon)->params().mixture_cross_prob, 0.5);
+  EXPECT_EQ(MakeCmR(&lexicon)->name(), "CM-R");
+  EXPECT_EQ(MakeCmC(&lexicon)->name(), "CM-C");
+  EXPECT_EQ(MakeCmM(&lexicon)->name(), "CM-M");
+}
+
+TEST(CopyMutateTest, InvalidContextsRejected) {
+  const Lexicon lexicon = GridLexicon(2, 10);
+  const auto model = MakeCmR(&lexicon);
+  GeneratedRecipes out;
+
+  CuisineContext empty_target = GridContext(lexicon, 10, 5);
+  empty_target.target_recipes = 0;
+  EXPECT_FALSE(model->Generate(empty_target, 1, &out).ok());
+
+  CuisineContext no_ingredients = GridContext(lexicon, 10, 5);
+  no_ingredients.ingredients.clear();
+  EXPECT_FALSE(model->Generate(no_ingredients, 1, &out).ok());
+
+  CuisineContext bad_phi = GridContext(lexicon, 10, 5);
+  bad_phi.phi = 0.0;
+  EXPECT_FALSE(model->Generate(bad_phi, 1, &out).ok());
+}
+
+/// CM-C preserves every recipe's per-category ingredient counts along its
+/// lineage (same-category point mutations), so the number of *distinct
+/// category histograms* in the evolved pool stays near the initial pool's;
+/// CM-R crosses categories freely and produces many more.
+TEST(CopyMutateTest, SameCategoryPolicyPreservesCategoryHistograms) {
+  const Lexicon lexicon = GridLexicon(4, 25);
+  const CuisineContext context = GridContext(lexicon, 400, 8);
+
+  const auto count_histograms = [&](const GeneratedRecipes& recipes) {
+    std::set<std::vector<int>> histograms;
+    for (const std::vector<IngredientId>& recipe : recipes) {
+      std::vector<int> histogram(4, 0);
+      for (IngredientId id : recipe) {
+        ++histogram[static_cast<int>(lexicon.category(id))];
+      }
+      histograms.insert(histogram);
+    }
+    return histograms.size();
+  };
+
+  GeneratedRecipes cm_c;
+  ASSERT_TRUE(MakeCmC(&lexicon)->Generate(context, 5, &cm_c).ok());
+  GeneratedRecipes cm_r;
+  ASSERT_TRUE(MakeCmR(&lexicon)->Generate(context, 5, &cm_r).ok());
+
+  // n0 = m/phi = 20 / (100/400) = 80 initial recipes bound CM-C's
+  // distinct-histogram count; CM-R keeps generating new histograms.
+  EXPECT_LE(count_histograms(cm_c), 80u + 4u);  // +slack for pool fallback.
+  EXPECT_GT(count_histograms(cm_r), count_histograms(cm_c));
+}
+
+TEST(CopyMutateTest, MixtureProbabilityInterpolates) {
+  const Lexicon lexicon = GridLexicon(4, 25);
+  const CuisineContext context = GridContext(lexicon, 400, 8);
+
+  const auto distinct_histograms = [&](double cross_prob) {
+    ModelParams params;
+    params.policy = ReplacementPolicy::kMixture;
+    params.mutations = 6;
+    params.mixture_cross_prob = cross_prob;
+    const CopyMutateModel model(&lexicon, params);
+    GeneratedRecipes recipes;
+    EXPECT_TRUE(model.Generate(context, 5, &recipes).ok());
+    std::set<std::vector<int>> histograms;
+    for (const std::vector<IngredientId>& recipe : recipes) {
+      std::vector<int> histogram(4, 0);
+      for (IngredientId id : recipe) {
+        ++histogram[static_cast<int>(lexicon.category(id))];
+      }
+      histograms.insert(histogram);
+    }
+    return histograms.size();
+  };
+
+  const size_t at_zero = distinct_histograms(0.0);
+  const size_t at_one = distinct_histograms(1.0);
+  EXPECT_LT(at_zero, at_one);
+}
+
+TEST(CopyMutateTest, VariableSizeExtensionChangesSizes) {
+  const Lexicon lexicon = GridLexicon(4, 25);
+  const CuisineContext context = GridContext(lexicon, 500, 8);
+  ModelParams params;
+  params.insert_prob = 0.3;
+  params.delete_prob = 0.3;
+  const CopyMutateModel model(&lexicon, params);
+  GeneratedRecipes recipes;
+  ASSERT_TRUE(model.Generate(context, 3, &recipes).ok());
+  std::set<size_t> sizes;
+  for (const std::vector<IngredientId>& recipe : recipes) {
+    sizes.insert(recipe.size());
+    EXPECT_GE(recipe.size(), 2u);
+    EXPECT_LE(recipe.size(), 38u);
+  }
+  EXPECT_GT(sizes.size(), 1u);
+}
+
+TEST(CopyMutateTest, FitnessGatingEnrichesHighFitnessIngredients) {
+  // Under uniform fitness, mutation only replaces lower-fitness ingredients
+  // with higher-fitness ones, so late recipes should be enriched in the
+  // top-fitness half relative to the initial pool average.
+  const Lexicon lexicon = GridLexicon(1, 100);
+  const CuisineContext context = GridContext(lexicon, 2000, 8);
+  ModelParams params;
+  params.mutations = 8;
+  const CopyMutateModel model(&lexicon, params);
+  GeneratedRecipes recipes;
+  ASSERT_TRUE(model.Generate(context, 11, &recipes).ok());
+
+  // Proxy: ingredient usage concentration. Fitness-gated evolution reuses
+  // the fittest ingredients, so the most common ingredient should appear in
+  // far more than the uniform share of recipes.
+  std::map<IngredientId, size_t> counts;
+  for (const auto& recipe : recipes) {
+    for (IngredientId id : recipe) ++counts[id];
+  }
+  size_t max_count = 0;
+  for (const auto& [id, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  // Uniform share would be 2000 * 8 / 100 = 160; gating concentrates usage.
+  EXPECT_GT(max_count, 480u);
+}
+
+TEST(CopyMutateTest, SmallIngredientListsStillWork) {
+  // |I| smaller than the initial pool request.
+  const Lexicon lexicon = GridLexicon(1, 12);
+  const CuisineContext context = GridContext(lexicon, 60, 5);
+  GeneratedRecipes recipes;
+  ASSERT_TRUE(MakeCmR(&lexicon)->Generate(context, 2, &recipes).ok());
+  EXPECT_EQ(recipes.size(), 60u);
+}
+
+TEST(ReplacementPolicyNameTest, Names) {
+  EXPECT_STREQ(ReplacementPolicyName(ReplacementPolicy::kRandom), "CM-R");
+  EXPECT_STREQ(ReplacementPolicyName(ReplacementPolicy::kSameCategory),
+               "CM-C");
+  EXPECT_STREQ(ReplacementPolicyName(ReplacementPolicy::kMixture), "CM-M");
+}
+
+}  // namespace
+}  // namespace culevo

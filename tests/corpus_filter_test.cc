@@ -1,0 +1,98 @@
+#include "corpus/corpus_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace culevo {
+namespace {
+
+RecipeCorpus FilterTestCorpus() {
+  RecipeCorpus::Builder builder;
+  EXPECT_TRUE(builder.Add(0, {1, 2}).ok());
+  EXPECT_TRUE(builder.Add(0, {2, 3}).ok());
+  EXPECT_TRUE(builder.Add(1, {1, 4}).ok());
+  EXPECT_TRUE(builder.Add(2, {5, 6}).ok());
+  return builder.Build();
+}
+
+TEST(FilterCorpusTest, KeepsMatchingRecipes) {
+  const RecipeCorpus filtered =
+      FilterCorpus(FilterTestCorpus(), [](const RecipeView& recipe) {
+        return recipe.size() == 2 && recipe.ingredients[0] == 1;
+      });
+  EXPECT_EQ(filtered.num_recipes(), 2u);
+  EXPECT_EQ(filtered.num_recipes_in(0), 1u);
+  EXPECT_EQ(filtered.num_recipes_in(1), 1u);
+}
+
+TEST(SelectCuisinesTest, KeepsOnlyRequested) {
+  const RecipeCorpus selected =
+      SelectCuisines(FilterTestCorpus(), {0, 2});
+  EXPECT_EQ(selected.num_recipes(), 3u);
+  EXPECT_EQ(selected.num_recipes_in(0), 2u);
+  EXPECT_EQ(selected.num_recipes_in(1), 0u);
+  EXPECT_EQ(selected.num_recipes_in(2), 1u);
+}
+
+TEST(RecipesContainingTest, FindsIngredient) {
+  const RecipeCorpus with_2 = RecipesContaining(FilterTestCorpus(), 2);
+  EXPECT_EQ(with_2.num_recipes(), 2u);
+  const RecipeCorpus with_9 = RecipesContaining(FilterTestCorpus(), 9);
+  EXPECT_EQ(with_9.num_recipes(), 0u);
+}
+
+TEST(SampleCorpusTest, FullFractionKeepsEverything) {
+  const RecipeCorpus sampled = SampleCorpus(FilterTestCorpus(), 1.0, 3);
+  EXPECT_EQ(sampled.num_recipes(), 4u);
+}
+
+TEST(SampleCorpusTest, DeterministicAndRoughlyProportional) {
+  RecipeCorpus::Builder builder;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(
+        builder.Add(0, {static_cast<IngredientId>(i % 50), 60}).ok());
+  }
+  const RecipeCorpus big = builder.Build();
+  const RecipeCorpus a = SampleCorpus(big, 0.3, 7);
+  const RecipeCorpus b = SampleCorpus(big, 0.3, 7);
+  EXPECT_EQ(a.num_recipes(), b.num_recipes());
+  EXPECT_NEAR(static_cast<double>(a.num_recipes()), 300.0, 60.0);
+}
+
+TEST(SplitHalvesTest, PartitionsEveryCuisine) {
+  RecipeCorpus::Builder builder;
+  for (int i = 0; i < 101; ++i) {
+    ASSERT_TRUE(builder.Add(i % 3, {static_cast<IngredientId>(i), 200}).ok());
+  }
+  const RecipeCorpus corpus = builder.Build();
+  const CorpusSplit split = SplitHalves(corpus, 11);
+  EXPECT_EQ(split.first.num_recipes() + split.second.num_recipes(),
+            corpus.num_recipes());
+  for (int c = 0; c < 3; ++c) {
+    const CuisineId cuisine = static_cast<CuisineId>(c);
+    const size_t total = corpus.num_recipes_in(cuisine);
+    const size_t first = split.first.num_recipes_in(cuisine);
+    EXPECT_NEAR(static_cast<double>(first),
+                static_cast<double>(total) / 2.0, 1.0);
+  }
+}
+
+TEST(SplitHalvesTest, HalvesAreDisjointByMentions) {
+  // Give every recipe a unique marker ingredient, then verify no marker
+  // appears in both halves.
+  RecipeCorpus::Builder builder;
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(
+        builder.Add(0, {static_cast<IngredientId>(i), 100, 101}).ok());
+  }
+  const CorpusSplit split = SplitHalves(builder.Build(), 5);
+  std::vector<bool> in_first(60, false);
+  for (uint32_t r = 0; r < split.first.num_recipes(); ++r) {
+    in_first[split.first.ingredients_of(r)[0]] = true;
+  }
+  for (uint32_t r = 0; r < split.second.num_recipes(); ++r) {
+    EXPECT_FALSE(in_first[split.second.ingredients_of(r)[0]]);
+  }
+}
+
+}  // namespace
+}  // namespace culevo

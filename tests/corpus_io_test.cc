@@ -1,0 +1,108 @@
+#include "corpus/corpus_io.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lexicon/world_lexicon.h"
+
+namespace culevo {
+namespace {
+
+TEST(CorpusIoTest, ParsesRecipesThroughLexicon) {
+  const Lexicon& lexicon = WorldLexicon();
+  Result<RecipeCorpus> corpus = ParseCorpusTsv(
+      "# a comment\n"
+      "ITA\tTomato; Basil ;Olive Oil\n"
+      "JPN\tsoy sauce;Rice\n",
+      lexicon);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->num_recipes(), 2u);
+  EXPECT_EQ(corpus->num_recipes_in(CuisineFromCode("ITA").value()), 1u);
+  EXPECT_EQ(corpus->ingredients_of(0).size(), 3u);
+  // Alias resolution: "soy sauce" -> Soybean Sauce.
+  const auto sauce = lexicon.Find("Soybean Sauce");
+  bool found = false;
+  for (IngredientId id : corpus->ingredients_of(1)) found |= (id == *sauce);
+  EXPECT_TRUE(found);
+}
+
+TEST(CorpusIoTest, UnknownIngredientFailsByDefault) {
+  Result<RecipeCorpus> corpus =
+      ParseCorpusTsv("ITA\tTomato;Unobtainium\n", WorldLexicon());
+  ASSERT_FALSE(corpus.ok());
+  EXPECT_EQ(corpus.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CorpusIoTest, SkipUnknownDropsMentions) {
+  Result<RecipeCorpus> corpus = ParseCorpusTsv(
+      "ITA\tTomato;Unobtainium\nITA\tUnobtainium;Kryptonite\n",
+      WorldLexicon(), /*skip_unknown=*/true);
+  ASSERT_TRUE(corpus.ok());
+  // Second recipe becomes empty and is dropped entirely.
+  EXPECT_EQ(corpus->num_recipes(), 1u);
+  EXPECT_EQ(corpus->ingredients_of(0).size(), 1u);
+}
+
+TEST(CorpusIoTest, UnknownCuisineFails) {
+  EXPECT_FALSE(ParseCorpusTsv("XX\tTomato\n", WorldLexicon()).ok());
+}
+
+TEST(CorpusIoTest, MalformedLineFails) {
+  EXPECT_FALSE(ParseCorpusTsv("ITA only one field\n", WorldLexicon()).ok());
+  EXPECT_FALSE(
+      ParseCorpusTsv("ITA\tTomato\textra\n", WorldLexicon()).ok());
+}
+
+TEST(CorpusIoTest, FreeFormMentionsResolveByScanning) {
+  Result<RecipeCorpus> corpus = ParseCorpusTsv(
+      "INSC\t2 cups ginger garlic paste;1 tsp turmeric powder\n",
+      WorldLexicon(), /*skip_unknown=*/true);
+  ASSERT_TRUE(corpus.ok());
+  ASSERT_EQ(corpus->num_recipes(), 1u);
+  const Lexicon& lexicon = WorldLexicon();
+  std::vector<std::string> names;
+  for (IngredientId id : corpus->ingredients_of(0)) {
+    names.push_back(lexicon.name(id));
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(), "Ginger Garlic Paste"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Turmeric"), names.end());
+}
+
+TEST(CorpusIoTest, RoundTripPreservesContent) {
+  const Lexicon& lexicon = WorldLexicon();
+  Result<RecipeCorpus> original = ParseCorpusTsv(
+      "ITA\tTomato;Basil\nKOR\tSesame;Garlic;Sugar\n", lexicon);
+  ASSERT_TRUE(original.ok());
+  const std::string serialized = FormatCorpusTsv(original.value(), lexicon);
+  Result<RecipeCorpus> reparsed = ParseCorpusTsv(serialized, lexicon);
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->num_recipes(), original->num_recipes());
+  for (uint32_t i = 0; i < original->num_recipes(); ++i) {
+    EXPECT_EQ(reparsed->cuisine_of(i), original->cuisine_of(i));
+    EXPECT_EQ(std::vector<IngredientId>(reparsed->ingredients_of(i).begin(),
+                                        reparsed->ingredients_of(i).end()),
+              std::vector<IngredientId>(original->ingredients_of(i).begin(),
+                                        original->ingredients_of(i).end()));
+  }
+}
+
+TEST(CorpusIoTest, FileRoundTrip) {
+  const Lexicon& lexicon = WorldLexicon();
+  Result<RecipeCorpus> original =
+      ParseCorpusTsv("FRA\tButter;Cream;Egg\n", lexicon);
+  ASSERT_TRUE(original.ok());
+  const std::string path = ::testing::TempDir() + "/culevo_corpus.tsv";
+  ASSERT_TRUE(WriteCorpusTsv(path, original.value(), lexicon).ok());
+  Result<RecipeCorpus> loaded = ReadCorpusTsv(path, lexicon);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_recipes(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace culevo

@@ -1,0 +1,75 @@
+#include "corpus/cuisine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace culevo {
+namespace {
+
+TEST(CuisineTest, TwentyFiveRegions) {
+  EXPECT_EQ(WorldCuisines().size(), 25u);
+  EXPECT_EQ(kNumCuisines, 25);
+}
+
+TEST(CuisineTest, CodesAreUniqueAndNonEmpty) {
+  std::set<std::string_view> codes;
+  for (const CuisineInfo& info : WorldCuisines()) {
+    EXPECT_FALSE(info.code.empty());
+    EXPECT_TRUE(codes.insert(info.code).second) << info.code;
+  }
+}
+
+TEST(CuisineTest, TableOneCountsMatchPaper) {
+  // Spot-check the extremes called out in Section II.
+  const CuisineInfo& italy = CuisineAt(CuisineFromCode("ITA").value());
+  EXPECT_EQ(italy.paper_recipes, 23179);
+  EXPECT_EQ(italy.paper_ingredients, 506);
+  const CuisineInfo& cam = CuisineAt(CuisineFromCode("CAM").value());
+  EXPECT_EQ(cam.paper_recipes, 470);
+  const CuisineInfo& usa = CuisineAt(CuisineFromCode("USA").value());
+  EXPECT_EQ(usa.paper_ingredients, 592);
+  const CuisineInfo& kor = CuisineAt(CuisineFromCode("KOR").value());
+  EXPECT_EQ(kor.paper_ingredients, 291);
+}
+
+TEST(CuisineTest, TotalsMatchTableOneSum) {
+  // The printed Table-I rows sum to 158460 (the abstract's 158544 does not
+  // match its own table; we embed the table as printed).
+  EXPECT_EQ(TotalPaperRecipes(), 158460);
+}
+
+TEST(CuisineTest, FromCodeIsCaseInsensitive) {
+  EXPECT_EQ(CuisineFromCode("ita").value(), CuisineFromCode("ITA").value());
+  EXPECT_FALSE(CuisineFromCode("XYZ").ok());
+  EXPECT_FALSE(CuisineFromCode("").ok());
+}
+
+TEST(CuisineTest, EveryCuisineHasFiveTopIngredients) {
+  for (const CuisineInfo& info : WorldCuisines()) {
+    for (std::string_view name : info.top_ingredients) {
+      EXPECT_FALSE(name.empty()) << info.code;
+    }
+  }
+}
+
+TEST(CuisineTest, CalibrationParametersInRange) {
+  for (const CuisineInfo& info : WorldCuisines()) {
+    EXPECT_GT(info.mean_recipe_size, 2.0) << info.code;
+    EXPECT_LT(info.mean_recipe_size, 38.0) << info.code;
+    EXPECT_GE(info.liberty, 0.0) << info.code;
+    EXPECT_LE(info.liberty, 1.0) << info.code;
+    EXPECT_GT(info.paper_ingredients, 0) << info.code;
+    EXPECT_GT(info.paper_recipes, 0) << info.code;
+  }
+}
+
+TEST(CuisineTest, CuisineAtMatchesIndex) {
+  for (int c = 0; c < kNumCuisines; ++c) {
+    EXPECT_EQ(&CuisineAt(static_cast<CuisineId>(c)),
+              &WorldCuisines()[static_cast<size_t>(c)]);
+  }
+}
+
+}  // namespace
+}  // namespace culevo

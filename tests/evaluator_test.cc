@@ -1,0 +1,100 @@
+#include "core/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/copy_mutate.h"
+#include "core/null_model.h"
+#include "lexicon/world_lexicon.h"
+#include "synth/generator.h"
+#include "util/check.h"
+
+namespace culevo {
+namespace {
+
+/// One synthesized cuisine (KOR, small) shared across tests.
+const RecipeCorpus& TestCorpus() {
+  static const RecipeCorpus& corpus = []() -> const RecipeCorpus& {
+    const Lexicon& lexicon = WorldLexicon();
+    const CuisineId kor = CuisineFromCode("KOR").value();
+    const CuisineProfile profile = BuildCuisineProfile(lexicon, kor, 7);
+    SynthConfig config;
+    RecipeCorpus::Builder builder;
+    CULEVO_CHECK_OK(
+        SynthesizeCuisine(lexicon, profile, config, 600, &builder));
+    return *new RecipeCorpus(builder.Build());
+  }();
+  return corpus;
+}
+
+TEST(EvaluateCuisineTest, ScoresAllModels) {
+  const Lexicon& lexicon = WorldLexicon();
+  const CuisineId kor = CuisineFromCode("KOR").value();
+  const auto cm_r = MakeCmR(&lexicon);
+  const NullModel nm;
+  SimulationConfig config;
+  config.replicas = 3;
+
+  Result<CuisineEvaluation> evaluation = EvaluateCuisine(
+      TestCorpus(), kor, lexicon, {cm_r.get(), &nm}, config);
+  ASSERT_TRUE(evaluation.ok());
+  ASSERT_EQ(evaluation->scores.size(), 2u);
+  EXPECT_EQ(evaluation->scores[0].model, "CM-R");
+  EXPECT_EQ(evaluation->scores[1].model, "NM");
+  EXPECT_FALSE(evaluation->empirical_ingredient.empty());
+  EXPECT_FALSE(evaluation->empirical_category.empty());
+  for (const ModelScore& score : evaluation->scores) {
+    EXPECT_GE(score.mae_ingredient, 0.0);
+    EXPECT_GE(score.mae_category, 0.0);
+    EXPECT_GE(score.paper_eq2_ingredient, 0.0);
+    EXPECT_FALSE(score.ingredient_curve.empty());
+  }
+}
+
+TEST(EvaluateCuisineTest, CopyMutateBeatsNull) {
+  // The paper's headline claim, as a regression test.
+  const Lexicon& lexicon = WorldLexicon();
+  const CuisineId kor = CuisineFromCode("KOR").value();
+  const auto cm_r = MakeCmR(&lexicon);
+  const NullModel nm;
+  SimulationConfig config;
+  config.replicas = 5;
+  Result<CuisineEvaluation> evaluation = EvaluateCuisine(
+      TestCorpus(), kor, lexicon, {cm_r.get(), &nm}, config);
+  ASSERT_TRUE(evaluation.ok());
+  EXPECT_LT(evaluation->scores[0].mae_ingredient,
+            evaluation->scores[1].mae_ingredient * 0.7);
+  EXPECT_EQ(evaluation->BestByIngredientMae(), 0u);
+}
+
+TEST(EvaluateCuisineTest, PaperEq2IsSquaredScale) {
+  const Lexicon& lexicon = WorldLexicon();
+  const CuisineId kor = CuisineFromCode("KOR").value();
+  const NullModel nm;
+  SimulationConfig config;
+  config.replicas = 2;
+  Result<CuisineEvaluation> evaluation =
+      EvaluateCuisine(TestCorpus(), kor, lexicon, {&nm}, config);
+  ASSERT_TRUE(evaluation.ok());
+  // For sub-unit frequency gaps, the squared form is smaller than |.|.
+  EXPECT_LE(evaluation->scores[0].paper_eq2_ingredient,
+            evaluation->scores[0].mae_ingredient);
+}
+
+TEST(EvaluateCuisineTest, EmptyModelListRejected) {
+  SimulationConfig config;
+  EXPECT_FALSE(EvaluateCuisine(TestCorpus(), CuisineFromCode("KOR").value(),
+                               WorldLexicon(), {}, config)
+                   .ok());
+}
+
+TEST(EvaluateCuisineTest, EmptyCuisineRejected) {
+  const Lexicon& lexicon = WorldLexicon();
+  const NullModel nm;
+  SimulationConfig config;
+  EXPECT_FALSE(EvaluateCuisine(TestCorpus(), CuisineFromCode("ITA").value(),
+                               lexicon, {&nm}, config)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace culevo

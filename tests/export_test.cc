@@ -1,0 +1,56 @@
+#include "analysis/export.h"
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+
+namespace culevo {
+namespace {
+
+TEST(ExportTest, CurveToCsv) {
+  const RankFrequency curve =
+      RankFrequency::FromFrequencies({0.5, 0.25});
+  EXPECT_EQ(CurveToCsv(curve), "rank,frequency\n1,0.5\n2,0.25\n");
+  EXPECT_EQ(CurveToCsv(RankFrequency()), "rank,frequency\n");
+}
+
+TEST(ExportTest, CurvesToCsvAlignsAndPads) {
+  const std::vector<RankFrequency> curves = {
+      RankFrequency::FromFrequencies({0.5, 0.25, 0.125}),
+      RankFrequency::FromFrequencies({0.75}),
+  };
+  const std::string csv = CurvesToCsv({"empirical", "model"}, curves);
+  EXPECT_EQ(csv,
+            "rank,empirical,model\n"
+            "1,0.5,0.75\n"
+            "2,0.25,\n"
+            "3,0.125,\n");
+  // The padded output must still parse as rectangular CSV.
+  Result<DsvTable> parsed = ParseDsv(csv, ',');
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_rows(), 4u);
+  for (const auto& row : parsed->rows) EXPECT_EQ(row.size(), 3u);
+}
+
+TEST(ExportTest, HistogramToCsv) {
+  EXPECT_EQ(HistogramToCsv({0, 2, 5}),
+            "size,count\n0,0\n1,2\n2,5\n");
+}
+
+TEST(ExportTest, MatrixToCsv) {
+  const std::string csv = MatrixToCsv(
+      {"A", "B"}, {{0.0, 0.5}, {0.5, 0.0}});
+  EXPECT_EQ(csv, ",A,B\nA,0,0.5\nB,0.5,0\n");
+}
+
+TEST(ExportTest, WriteCsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/culevo_export.csv";
+  ASSERT_TRUE(WriteCsv(path, "a,b\n1,2\n").ok());
+  Result<std::string> content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.value(), "a,b\n1,2\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace culevo

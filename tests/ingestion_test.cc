@@ -1,0 +1,121 @@
+#include "corpus/ingestion.h"
+
+#include <gtest/gtest.h>
+
+#include "lexicon/world_lexicon.h"
+
+namespace culevo {
+namespace {
+
+TEST(ParseRawRecipeTextTest, BlocksSeparatedByBlankLines) {
+  const std::vector<RawRecipe> raw = ParseRawRecipeText(
+      "# scraped 2026-07-05\n"
+      "ITA\n"
+      "2 cups tomatoes\n"
+      "1 tbsp olive oil\n"
+      "\n"
+      "JPN\n"
+      "1/4 cup soy sauce\n"
+      "\n"
+      "\n");
+  ASSERT_EQ(raw.size(), 2u);
+  EXPECT_EQ(raw[0].cuisine_code, "ITA");
+  ASSERT_EQ(raw[0].ingredient_lines.size(), 2u);
+  EXPECT_EQ(raw[0].ingredient_lines[1], "1 tbsp olive oil");
+  EXPECT_EQ(raw[1].cuisine_code, "JPN");
+}
+
+TEST(ParseRawRecipeTextTest, EmptyAndCommentOnlyInput) {
+  EXPECT_TRUE(ParseRawRecipeText("").empty());
+  EXPECT_TRUE(ParseRawRecipeText("# nothing\n\n# more\n").empty());
+}
+
+TEST(IngestTest, EndToEndResolution) {
+  const std::vector<RawRecipe> raw = {
+      {"ITA",
+       {"2 cups chopped tomatoes", "1 tbsp olive oil", "3 cloves garlic",
+        "a pinch of oregano"}},
+      {"JPN", {"1/4 cup soy sauce", "2 tsp grated fresh ginger"}},
+  };
+  IngestionReport report;
+  Result<RecipeCorpus> corpus =
+      IngestRawRecipes(raw, WorldLexicon(), &report);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->num_recipes(), 2u);
+  EXPECT_EQ(report.recipes_in, 2u);
+  EXPECT_EQ(report.recipes_ingested, 2u);
+  EXPECT_EQ(report.recipes_dropped, 0u);
+  EXPECT_EQ(report.lines_in, 6u);
+  EXPECT_EQ(report.lines_resolved, 6u);
+  EXPECT_DOUBLE_EQ(report.line_resolution_rate(), 1.0);
+
+  const Lexicon& lexicon = WorldLexicon();
+  const CuisineId ita = CuisineFromCode("ITA").value();
+  ASSERT_EQ(corpus->num_recipes_in(ita), 1u);
+  const uint32_t index = corpus->recipes_of(ita)[0];
+  std::vector<std::string> names;
+  for (IngredientId id : corpus->ingredients_of(index)) {
+    names.push_back(lexicon.name(id));
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(), "Tomato"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Olive Oil"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Garlic"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Oregano"), names.end());
+}
+
+TEST(IngestTest, UnknownCuisineAndUnresolvableRecipesDropped) {
+  const std::vector<RawRecipe> raw = {
+      {"ATLANTIS", {"1 cup ambrosia"}},
+      {"ITA", {"2 scoops unobtainium"}},
+      {"ITA", {"1 cup flour"}},
+  };
+  IngestionReport report;
+  Result<RecipeCorpus> corpus =
+      IngestRawRecipes(raw, WorldLexicon(), &report);
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->num_recipes(), 1u);
+  EXPECT_EQ(report.recipes_dropped, 2u);
+  EXPECT_LT(report.line_resolution_rate(), 1.0);
+}
+
+TEST(IngestTest, UnresolvedMentionsRankedByFrequency) {
+  const std::vector<RawRecipe> raw = {
+      {"ITA", {"1 cup dragon scales", "2 cups flour"}},
+      {"ITA", {"3 dragon scales", "1 cup sugar"}},
+      {"ITA", {"1 moon rock", "1 cup sugar"}},
+  };
+  IngestionReport report;
+  Result<RecipeCorpus> corpus =
+      IngestRawRecipes(raw, WorldLexicon(), &report);
+  ASSERT_TRUE(corpus.ok());
+  ASSERT_GE(report.unresolved_mentions.size(), 2u);
+  EXPECT_EQ(report.unresolved_mentions[0].first, "dragon scale");
+  EXPECT_EQ(report.unresolved_mentions[0].second, 2u);
+}
+
+TEST(IngestTest, ReportIsOptional) {
+  const std::vector<RawRecipe> raw = {{"ITA", {"1 cup flour"}}};
+  Result<RecipeCorpus> corpus = IngestRawRecipes(raw, WorldLexicon());
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->num_recipes(), 1u);
+}
+
+TEST(IngestTest, CompoundIngredientsSurviveParsing) {
+  const std::vector<RawRecipe> raw = {
+      {"INSC", {"2 tbsp ginger garlic paste", "1 tsp garam masala"}}};
+  Result<RecipeCorpus> corpus = IngestRawRecipes(raw, WorldLexicon());
+  ASSERT_TRUE(corpus.ok());
+  const Lexicon& lexicon = WorldLexicon();
+  std::vector<std::string> names;
+  for (IngredientId id : corpus->ingredients_of(0)) {
+    names.push_back(lexicon.name(id));
+  }
+  EXPECT_NE(std::find(names.begin(), names.end(), "Ginger Garlic Paste"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "Garam Masala"),
+            names.end());
+}
+
+}  // namespace
+}  // namespace culevo

@@ -1,0 +1,154 @@
+// End-to-end integration tests: synthesize a world, run the full analysis
+// and model-fitting pipeline, and assert the paper's qualitative results.
+
+#include <gtest/gtest.h>
+
+#include "analysis/combinations.h"
+#include "analysis/distance.h"
+#include "analysis/overrepresentation.h"
+#include "analysis/summary.h"
+#include "core/copy_mutate.h"
+#include "core/evaluator.h"
+#include "core/null_model.h"
+#include "corpus/corpus_io.h"
+#include "corpus/corpus_stats.h"
+#include "lexicon/world_lexicon.h"
+#include "synth/generator.h"
+#include "util/check.h"
+
+namespace culevo {
+namespace {
+
+/// A shared small world corpus (scale 0.02: ~3.2k recipes).
+const RecipeCorpus& World() {
+  static const RecipeCorpus& corpus = []() -> const RecipeCorpus& {
+    SynthConfig config;
+    config.scale = 0.02;
+    Result<RecipeCorpus> made =
+        SynthesizeWorldCorpus(WorldLexicon(), config);
+    CULEVO_CHECK_OK(made.status());
+    return *new RecipeCorpus(std::move(made).value());
+  }();
+  return corpus;
+}
+
+TEST(IntegrationTest, WorldHasAllCuisines) {
+  for (int c = 0; c < kNumCuisines; ++c) {
+    EXPECT_GT(World().num_recipes_in(static_cast<CuisineId>(c)), 0u);
+  }
+}
+
+TEST(IntegrationTest, Fig1SizesAreBoundedGaussian) {
+  const std::vector<CuisineStats> stats = ComputeCuisineStats(World());
+  for (const CuisineStats& s : stats) {
+    ASSERT_GT(s.num_recipes, 0u);
+    EXPECT_GE(s.min_recipe_size, 2);
+    EXPECT_LE(s.max_recipe_size, 38);
+  }
+  const GaussianFit fit =
+      FitGaussianToHistogram(AggregateSizeHistogram(World()));
+  EXPECT_NEAR(fit.mean, 9.0, 1.0);
+  EXPECT_LT(fit.tv_error, 0.1);
+}
+
+TEST(IntegrationTest, Fig3CurvesAreHomogeneous) {
+  std::vector<RankFrequency> curves;
+  for (int c = 0; c < kNumCuisines; ++c) {
+    curves.push_back(
+        IngredientCombinationCurve(World(), static_cast<CuisineId>(c)));
+    EXPECT_FALSE(curves.back().empty());
+  }
+  const double mae = MeanOffDiagonal(PairwiseMae(curves));
+  // Paper: 0.035 at full scale. Same order of magnitude here.
+  EXPECT_LT(mae, 0.1);
+  EXPECT_GT(mae, 0.001);
+}
+
+TEST(IntegrationTest, TableOneTopIngredientsRecovered) {
+  const Lexicon& lexicon = WorldLexicon();
+  int hits = 0;
+  int total = 0;
+  for (const char* code : {"ITA", "INSC", "FRA"}) {
+    const CuisineId cuisine = CuisineFromCode(code).value();
+    const auto top = TopOverrepresented(World(), cuisine, 5);
+    for (std::string_view target :
+         CuisineAt(cuisine).top_ingredients) {
+      ++total;
+      for (const OverrepresentationScore& s : top) {
+        if (lexicon.name(s.ingredient) == target) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GE(hits, total * 2 / 3);
+}
+
+TEST(IntegrationTest, CopyMutateBeatsNullAcrossCuisines) {
+  const Lexicon& lexicon = WorldLexicon();
+  const auto cm_r = MakeCmR(&lexicon);
+  const auto cm_c = MakeCmC(&lexicon);
+  const auto cm_m = MakeCmM(&lexicon);
+  const NullModel nm;
+  const std::vector<const EvolutionModel*> models = {cm_r.get(), cm_c.get(),
+                                                     cm_m.get(), &nm};
+  SimulationConfig config;
+  config.replicas = 4;
+
+  // Cuisines floored to ~30 recipes at this scale are a degenerate regime
+  // (the paper's smallest cuisine has 470); test the mid-sized ones.
+  for (const char* code : {"ITA", "MEX", "USA"}) {
+    const CuisineId cuisine = CuisineFromCode(code).value();
+    Result<CuisineEvaluation> evaluation =
+        EvaluateCuisine(World(), cuisine, lexicon, models, config);
+    ASSERT_TRUE(evaluation.ok()) << code;
+    const double nm_mae = evaluation->scores[3].mae_ingredient;
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_LT(evaluation->scores[i].mae_ingredient, nm_mae)
+          << code << " model " << evaluation->scores[i].model;
+    }
+    // The winner is one of the copy-mutate models, never the null model.
+    EXPECT_LT(evaluation->BestByIngredientMae(), 3u) << code;
+  }
+}
+
+TEST(IntegrationTest, CorpusSurvivesSerializationPipeline) {
+  const Lexicon& lexicon = WorldLexicon();
+  // Serialize a slice of the world (one cuisine) and re-analyze it.
+  const CuisineId kor = CuisineFromCode("KOR").value();
+  RecipeCorpus::Builder builder;
+  for (uint32_t index : World().recipes_of(kor)) {
+    const auto span = World().ingredients_of(index);
+    ASSERT_TRUE(
+        builder.Add(kor, std::vector<IngredientId>(span.begin(), span.end()))
+            .ok());
+  }
+  const RecipeCorpus slice = builder.Build();
+
+  const std::string serialized = FormatCorpusTsv(slice, lexicon);
+  Result<RecipeCorpus> reloaded = ParseCorpusTsv(serialized, lexicon);
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_EQ(reloaded->num_recipes(), slice.num_recipes());
+
+  // The reloaded corpus yields the identical combination curve.
+  const RankFrequency before = IngredientCombinationCurve(slice, kor);
+  const RankFrequency after =
+      IngredientCombinationCurve(reloaded.value(), kor);
+  EXPECT_EQ(before.values(), after.values());
+}
+
+TEST(IntegrationTest, MinersAgreeOnRealCuisine) {
+  const CuisineId scnd = CuisineFromCode("SCND").value();
+  CombinationConfig eclat;
+  eclat.miner = MinerKind::kEclat;
+  CombinationConfig apriori;
+  apriori.miner = MinerKind::kApriori;
+  const RankFrequency a = IngredientCombinationCurve(World(), scnd, eclat);
+  const RankFrequency b =
+      IngredientCombinationCurve(World(), scnd, apriori);
+  EXPECT_EQ(a.values(), b.values());
+}
+
+}  // namespace
+}  // namespace culevo

@@ -1,0 +1,105 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace culevo {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String("ITA");
+  w.Key("mae");
+  w.Number(0.25);
+  w.Key("count");
+  w.Int(42);
+  w.Key("ok");
+  w.Bool(true);
+  w.Key("missing");
+  w.Null();
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Take(),
+            "{\"name\":\"ITA\",\"mae\":0.25,\"count\":42,\"ok\":true,"
+            "\"missing\":null}");
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjects) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("curve");
+  w.BeginArray();
+  w.Number(1);
+  w.Number(0.5);
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.Key("a");
+  w.Int(1);
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Take(),
+            "{\"curve\":[1,0.5],\"nested\":{\"a\":1}}");
+}
+
+TEST(JsonWriterTest, ArrayOfObjects) {
+  JsonWriter w;
+  w.BeginArray();
+  w.BeginObject();
+  w.Key("x");
+  w.Int(1);
+  w.EndObject();
+  w.BeginObject();
+  w.Key("x");
+  w.Int(2);
+  w.EndObject();
+  w.EndArray();
+  EXPECT_EQ(std::move(w).Take(), "[{\"x\":1},{\"x\":2}]");
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.BeginArray();
+  w.String("a\"b\\c\nd\te");
+  w.EndArray();
+  EXPECT_EQ(std::move(w).Take(), "[\"a\\\"b\\\\c\\nd\\te\"]");
+}
+
+TEST(JsonWriterTest, EscapeControlCharacters) {
+  EXPECT_EQ(JsonWriter::Escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonWriter::Escape("plain"), "plain");
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Number(std::numeric_limits<double>::infinity());
+  w.Number(std::numeric_limits<double>::quiet_NaN());
+  w.EndArray();
+  EXPECT_EQ(std::move(w).Take(), "[null,null]");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("empty_array");
+  w.BeginArray();
+  w.EndArray();
+  w.Key("empty_object");
+  w.BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(std::move(w).Take(),
+            "{\"empty_array\":[],\"empty_object\":{}}");
+}
+
+TEST(JsonWriterTest, TopLevelScalar) {
+  JsonWriter w;
+  w.Number(3.5);
+  EXPECT_EQ(std::move(w).Take(), "3.5");
+}
+
+}  // namespace
+}  // namespace culevo

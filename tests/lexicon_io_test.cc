@@ -1,0 +1,75 @@
+#include "lexicon/lexicon_io.h"
+
+#include <gtest/gtest.h>
+
+namespace culevo {
+namespace {
+
+constexpr char kGoodTsv[] =
+    "# comment line\n"
+    "Vegetable\tTomato\t0\tlove apple\n"
+    "\n"
+    "Additive\tSoybean Sauce\t1\tsoy sauce;shoyu\n"
+    "Spice\tCumin\t0\t\n";
+
+TEST(ParseLexiconTsvTest, ParsesEntitiesAliasesAndCompounds) {
+  Result<Lexicon> lexicon = ParseLexiconTsv(kGoodTsv);
+  ASSERT_TRUE(lexicon.ok());
+  EXPECT_EQ(lexicon->size(), 3u);
+  EXPECT_EQ(lexicon->num_compounds(), 1u);
+
+  const auto sauce = lexicon->Find("shoyu");
+  ASSERT_TRUE(sauce.has_value());
+  EXPECT_EQ(lexicon->name(*sauce), "Soybean Sauce");
+  EXPECT_TRUE(lexicon->is_compound(*sauce));
+  EXPECT_EQ(lexicon->Find("love apple"), lexicon->Find("tomato"));
+}
+
+TEST(ParseLexiconTsvTest, RejectsUnknownCategory) {
+  Result<Lexicon> lexicon = ParseLexiconTsv("Sorcery\tEye of Newt\t0\t\n");
+  EXPECT_FALSE(lexicon.ok());
+}
+
+TEST(ParseLexiconTsvTest, RejectsMissingFields) {
+  EXPECT_FALSE(ParseLexiconTsv("Vegetable\tTomato\n").ok());
+}
+
+TEST(ParseLexiconTsvTest, RejectsBadCompoundFlag) {
+  EXPECT_FALSE(ParseLexiconTsv("Vegetable\tTomato\t2\t\n").ok());
+  EXPECT_FALSE(ParseLexiconTsv("Vegetable\tTomato\tx\t\n").ok());
+}
+
+TEST(ParseLexiconTsvTest, RejectsDuplicateEntities) {
+  EXPECT_FALSE(
+      ParseLexiconTsv("Vegetable\tTomato\t0\t\nFruit\tTomatoes\t0\t\n")
+          .ok());
+}
+
+TEST(ParseLexiconTsvTest, ReportsLineNumbers) {
+  Result<Lexicon> lexicon =
+      ParseLexiconTsv("Vegetable\tTomato\t0\t\nBadLine\n");
+  ASSERT_FALSE(lexicon.ok());
+  EXPECT_NE(lexicon.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(LexiconTsvRoundTripTest, PreservesEntities) {
+  Result<Lexicon> original = ParseLexiconTsv(kGoodTsv);
+  ASSERT_TRUE(original.ok());
+  const std::string serialized = FormatLexiconTsv(original.value());
+  Result<Lexicon> reparsed = ParseLexiconTsv(serialized);
+  ASSERT_TRUE(reparsed.ok());
+  ASSERT_EQ(reparsed->size(), original->size());
+  for (size_t i = 0; i < original->size(); ++i) {
+    const IngredientId id = static_cast<IngredientId>(i);
+    EXPECT_EQ(reparsed->name(id), original->name(id));
+    EXPECT_EQ(reparsed->category(id), original->category(id));
+    EXPECT_EQ(reparsed->is_compound(id), original->is_compound(id));
+  }
+}
+
+TEST(LexiconTsvFileTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadLexiconTsv("/nonexistent/lex.tsv").ok());
+}
+
+}  // namespace
+}  // namespace culevo

@@ -1,0 +1,104 @@
+#include "core/model_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "core/copy_mutate.h"
+#include "core/null_model.h"
+#include "lexicon/world_lexicon.h"
+#include "synth/generator.h"
+#include "util/check.h"
+
+namespace culevo {
+namespace {
+
+const RecipeCorpus& SelectionCorpus() {
+  static const RecipeCorpus& corpus = []() -> const RecipeCorpus& {
+    const Lexicon& lexicon = WorldLexicon();
+    const CuisineId ee = CuisineFromCode("EE").value();
+    const CuisineProfile profile = BuildCuisineProfile(lexicon, ee, 5);
+    SynthConfig config;
+    RecipeCorpus::Builder builder;
+    CULEVO_CHECK_OK(
+        SynthesizeCuisine(lexicon, profile, config, 800, &builder));
+    return *new RecipeCorpus(builder.Build());
+  }();
+  return corpus;
+}
+
+SimulationConfig FastConfig(int replicas = 6) {
+  SimulationConfig config;
+  config.replicas = replicas;
+  config.seed = 21;
+  return config;
+}
+
+TEST(BootstrapTest, ProducesOrderedIntervals) {
+  const Lexicon& lexicon = WorldLexicon();
+  const CuisineId ee = CuisineFromCode("EE").value();
+  const auto cm_m = MakeCmM(&lexicon);
+  const NullModel nm;
+
+  Result<std::vector<ModelIntervalScore>> scores =
+      BootstrapModelComparison(SelectionCorpus(), ee, lexicon,
+                               {cm_m.get(), &nm}, FastConfig(), 100);
+  ASSERT_TRUE(scores.ok());
+  ASSERT_EQ(scores->size(), 2u);
+  for (const ModelIntervalScore& score : scores.value()) {
+    EXPECT_LE(score.mae_low, score.mae_mean + 1e-12) << score.model;
+    EXPECT_GE(score.mae_high + 1e-12, score.mae_mean) << score.model;
+    EXPECT_GE(score.mae_low, 0.0);
+  }
+}
+
+TEST(BootstrapTest, CopyMutateAndNullIntervalsSeparate) {
+  // The headline gap should exceed simulation noise: the CM interval sits
+  // entirely below the null interval.
+  const Lexicon& lexicon = WorldLexicon();
+  const CuisineId ee = CuisineFromCode("EE").value();
+  const auto cm_m = MakeCmM(&lexicon);
+  const NullModel nm;
+  Result<std::vector<ModelIntervalScore>> scores =
+      BootstrapModelComparison(SelectionCorpus(), ee, lexicon,
+                               {cm_m.get(), &nm}, FastConfig(8), 200);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_LT((*scores)[0].mae_high, (*scores)[1].mae_low);
+}
+
+TEST(BootstrapTest, InvalidArgumentsRejected) {
+  const Lexicon& lexicon = WorldLexicon();
+  const CuisineId ee = CuisineFromCode("EE").value();
+  const NullModel nm;
+  EXPECT_FALSE(BootstrapModelComparison(SelectionCorpus(), ee, lexicon, {},
+                                        FastConfig(), 100)
+                   .ok());
+  EXPECT_FALSE(BootstrapModelComparison(SelectionCorpus(), ee, lexicon,
+                                        {&nm}, FastConfig(), 0)
+                   .ok());
+}
+
+TEST(SplitHalfTest, ReportsWinnersOnBothHalves) {
+  const Lexicon& lexicon = WorldLexicon();
+  const CuisineId ee = CuisineFromCode("EE").value();
+  const auto cm_m = MakeCmM(&lexicon);
+  const NullModel nm;
+  Result<SplitHalfResult> result = SplitHalfStability(
+      SelectionCorpus(), ee, lexicon, {cm_m.get(), &nm}, FastConfig(4));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->winner_first.empty());
+  EXPECT_FALSE(result->winner_second.empty());
+  EXPECT_EQ(result->stable,
+            result->winner_first == result->winner_second);
+  // Copy-mutate vs null is so lopsided that both halves agree.
+  EXPECT_EQ(result->winner_first, "CM-M");
+  EXPECT_TRUE(result->stable);
+}
+
+TEST(SplitHalfTest, EmptyModelsRejected) {
+  const CuisineId ee = CuisineFromCode("EE").value();
+  EXPECT_FALSE(SplitHalfStability(SelectionCorpus(), ee, WorldLexicon(), {},
+                                  FastConfig())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace culevo

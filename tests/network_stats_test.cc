@@ -1,0 +1,72 @@
+#include "analysis/network_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace culevo {
+namespace {
+
+PairingEdge Edge(IngredientId a, IngredientId b) {
+  PairingEdge edge;
+  edge.a = a;
+  edge.b = b;
+  edge.cooccurrences = 1;
+  return edge;
+}
+
+TEST(NetworkStatsTest, TriangleGraph) {
+  const NetworkStats stats =
+      ComputeNetworkStats({Edge(0, 1), Edge(1, 2), Edge(0, 2)});
+  EXPECT_EQ(stats.num_nodes, 3u);
+  EXPECT_EQ(stats.num_edges, 3u);
+  EXPECT_DOUBLE_EQ(stats.density, 1.0);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 2.0);
+  EXPECT_EQ(stats.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(stats.clustering, 1.0);
+}
+
+TEST(NetworkStatsTest, PathGraphHasNoTriangles) {
+  const NetworkStats stats =
+      ComputeNetworkStats({Edge(0, 1), Edge(1, 2), Edge(2, 3)});
+  EXPECT_EQ(stats.num_nodes, 4u);
+  EXPECT_EQ(stats.num_edges, 3u);
+  EXPECT_DOUBLE_EQ(stats.clustering, 0.0);
+  EXPECT_EQ(stats.max_degree, 2u);
+  ASSERT_GE(stats.degree_histogram.size(), 3u);
+  EXPECT_EQ(stats.degree_histogram[1], 2u);  // Two endpoints.
+  EXPECT_EQ(stats.degree_histogram[2], 2u);  // Two middle nodes.
+}
+
+TEST(NetworkStatsTest, StarGraph) {
+  const NetworkStats stats = ComputeNetworkStats(
+      {Edge(0, 1), Edge(0, 2), Edge(0, 3), Edge(0, 4)});
+  EXPECT_EQ(stats.num_nodes, 5u);
+  EXPECT_EQ(stats.max_degree, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 8.0 / 5.0);
+  EXPECT_DOUBLE_EQ(stats.clustering, 0.0);
+}
+
+TEST(NetworkStatsTest, DuplicateAndSelfEdgesIgnored) {
+  const NetworkStats stats = ComputeNetworkStats(
+      {Edge(0, 1), Edge(1, 0), Edge(0, 0), Edge(0, 1)});
+  EXPECT_EQ(stats.num_nodes, 2u);
+  EXPECT_EQ(stats.num_edges, 1u);
+}
+
+TEST(NetworkStatsTest, EmptyNetwork) {
+  const NetworkStats stats = ComputeNetworkStats({});
+  EXPECT_EQ(stats.num_nodes, 0u);
+  EXPECT_EQ(stats.num_edges, 0u);
+  EXPECT_DOUBLE_EQ(stats.clustering, 0.0);
+}
+
+TEST(NetworkStatsTest, TriangleWithTail) {
+  // Triangle 0-1-2 plus tail 2-3: 1 triangle, triples = 1+1+3+0 = 5.
+  const NetworkStats stats = ComputeNetworkStats(
+      {Edge(0, 1), Edge(1, 2), Edge(0, 2), Edge(2, 3)});
+  EXPECT_EQ(stats.num_nodes, 4u);
+  EXPECT_EQ(stats.num_edges, 4u);
+  EXPECT_NEAR(stats.clustering, 3.0 * 1.0 / 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace culevo

@@ -1,0 +1,75 @@
+#include "analysis/overrepresentation.h"
+
+#include <gtest/gtest.h>
+
+namespace culevo {
+namespace {
+
+TEST(OverrepresentationTest, MatchesEquationOne) {
+  // Cuisine 0: 2 recipes, ingredient 1 in both, ingredient 2 in one.
+  // Cuisine 1: 2 recipes, ingredient 2 in both.
+  RecipeCorpus::Builder builder;
+  ASSERT_TRUE(builder.Add(0, {1, 2}).ok());
+  ASSERT_TRUE(builder.Add(0, {1, 3}).ok());
+  ASSERT_TRUE(builder.Add(1, {2, 4}).ok());
+  ASSERT_TRUE(builder.Add(1, {2, 5}).ok());
+  const RecipeCorpus corpus = builder.Build();
+
+  const auto scores = ComputeOverrepresentation(corpus, 0);
+  ASSERT_EQ(scores.size(), 3u);  // Ingredients 1, 2, 3 occur in cuisine 0.
+
+  // Ingredient 1: 2/2 in cuisine, 2/4 world-wide -> score 0.5, rank 1.
+  EXPECT_EQ(scores[0].ingredient, 1);
+  EXPECT_DOUBLE_EQ(scores[0].cuisine_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(scores[0].world_fraction, 0.5);
+  EXPECT_DOUBLE_EQ(scores[0].score, 0.5);
+
+  // Ingredient 3: 1/2 vs 1/4 -> 0.25. Ingredient 2: 1/2 vs 3/4 -> -0.25.
+  EXPECT_EQ(scores[1].ingredient, 3);
+  EXPECT_DOUBLE_EQ(scores[1].score, 0.25);
+  EXPECT_EQ(scores[2].ingredient, 2);
+  EXPECT_DOUBLE_EQ(scores[2].score, -0.25);
+}
+
+TEST(OverrepresentationTest, UniformWorldScoresZero) {
+  // Every cuisine uses the same recipe: cuisine fraction == world fraction.
+  RecipeCorpus::Builder builder;
+  ASSERT_TRUE(builder.Add(0, {1, 2}).ok());
+  ASSERT_TRUE(builder.Add(1, {1, 2}).ok());
+  ASSERT_TRUE(builder.Add(2, {1, 2}).ok());
+  const RecipeCorpus corpus = builder.Build();
+  for (const OverrepresentationScore& s :
+       ComputeOverrepresentation(corpus, 1)) {
+    EXPECT_DOUBLE_EQ(s.score, 0.0);
+  }
+}
+
+TEST(OverrepresentationTest, EmptyCuisineYieldsNothing) {
+  RecipeCorpus::Builder builder;
+  ASSERT_TRUE(builder.Add(0, {1}).ok());
+  const RecipeCorpus corpus = builder.Build();
+  EXPECT_TRUE(ComputeOverrepresentation(corpus, 5).empty());
+}
+
+TEST(OverrepresentationTest, TopKTruncates) {
+  RecipeCorpus::Builder builder;
+  ASSERT_TRUE(builder.Add(0, {1, 2, 3, 4, 5, 6, 7}).ok());
+  ASSERT_TRUE(builder.Add(1, {9}).ok());
+  const RecipeCorpus corpus = builder.Build();
+  EXPECT_EQ(TopOverrepresented(corpus, 0, 3).size(), 3u);
+  EXPECT_EQ(TopOverrepresented(corpus, 0, 100).size(), 7u);
+}
+
+TEST(OverrepresentationTest, DeterministicTieBreakById) {
+  RecipeCorpus::Builder builder;
+  ASSERT_TRUE(builder.Add(0, {5, 9}).ok());
+  ASSERT_TRUE(builder.Add(1, {1}).ok());
+  const RecipeCorpus corpus = builder.Build();
+  const auto scores = ComputeOverrepresentation(corpus, 0);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_DOUBLE_EQ(scores[0].score, scores[1].score);
+  EXPECT_LT(scores[0].ingredient, scores[1].ingredient);
+}
+
+}  // namespace
+}  // namespace culevo

@@ -1,0 +1,63 @@
+#include "analysis/rank_frequency.h"
+
+#include <gtest/gtest.h>
+
+namespace culevo {
+namespace {
+
+TEST(RankFrequencyTest, FromCountsNormalizesAndSorts) {
+  const RankFrequency rf = RankFrequency::FromCounts({10, 50, 20}, 100);
+  ASSERT_EQ(rf.size(), 3u);
+  EXPECT_DOUBLE_EQ(rf.at_rank(1), 0.5);
+  EXPECT_DOUBLE_EQ(rf.at_rank(2), 0.2);
+  EXPECT_DOUBLE_EQ(rf.at_rank(3), 0.1);
+}
+
+TEST(RankFrequencyTest, FromFrequenciesSortsDescending) {
+  const RankFrequency rf =
+      RankFrequency::FromFrequencies({0.1, 0.9, 0.5, 0.5});
+  EXPECT_DOUBLE_EQ(rf.at_rank(1), 0.9);
+  EXPECT_DOUBLE_EQ(rf.at_rank(2), 0.5);
+  EXPECT_DOUBLE_EQ(rf.at_rank(3), 0.5);
+  EXPECT_DOUBLE_EQ(rf.at_rank(4), 0.1);
+}
+
+TEST(RankFrequencyTest, EmptyCurve) {
+  const RankFrequency rf;
+  EXPECT_TRUE(rf.empty());
+  EXPECT_EQ(rf.size(), 0u);
+}
+
+TEST(AverageRankFrequenciesTest, PositionWiseMean) {
+  const RankFrequency a = RankFrequency::FromFrequencies({0.8, 0.4});
+  const RankFrequency b = RankFrequency::FromFrequencies({0.6, 0.2});
+  const RankFrequency avg = AverageRankFrequencies({a, b});
+  ASSERT_EQ(avg.size(), 2u);
+  EXPECT_DOUBLE_EQ(avg.at_rank(1), 0.7);
+  EXPECT_DOUBLE_EQ(avg.at_rank(2), 0.3);
+}
+
+TEST(AverageRankFrequenciesTest, UnequalLengthsZeroPadded) {
+  const RankFrequency a = RankFrequency::FromFrequencies({1.0, 0.5, 0.25});
+  const RankFrequency b = RankFrequency::FromFrequencies({0.5});
+  const RankFrequency avg = AverageRankFrequencies({a, b});
+  ASSERT_EQ(avg.size(), 3u);
+  EXPECT_DOUBLE_EQ(avg.at_rank(1), 0.75);
+  EXPECT_DOUBLE_EQ(avg.at_rank(2), 0.25);
+  EXPECT_DOUBLE_EQ(avg.at_rank(3), 0.125);
+}
+
+TEST(AverageRankFrequenciesTest, EmptyInputs) {
+  EXPECT_TRUE(AverageRankFrequencies({}).empty());
+  EXPECT_TRUE(
+      AverageRankFrequencies({RankFrequency(), RankFrequency()}).empty());
+}
+
+TEST(AverageRankFrequenciesTest, SingleCurveIsIdentity) {
+  const RankFrequency a = RankFrequency::FromFrequencies({0.9, 0.1});
+  const RankFrequency avg = AverageRankFrequencies({a});
+  EXPECT_EQ(avg.values(), a.values());
+}
+
+}  // namespace
+}  // namespace culevo

@@ -1,0 +1,89 @@
+#include "corpus/recipe_corpus.h"
+
+#include <gtest/gtest.h>
+
+namespace culevo {
+namespace {
+
+RecipeCorpus SmallCorpus() {
+  RecipeCorpus::Builder builder;
+  EXPECT_TRUE(builder.Add(0, {3, 1, 2}).ok());
+  EXPECT_TRUE(builder.Add(0, {2, 2, 5}).ok());  // Duplicate collapses.
+  EXPECT_TRUE(builder.Add(1, {7}).ok());
+  return builder.Build();
+}
+
+TEST(RecipeCorpusTest, BuilderSortsAndDeduplicates) {
+  const RecipeCorpus corpus = SmallCorpus();
+  ASSERT_EQ(corpus.num_recipes(), 3u);
+  EXPECT_EQ(std::vector<IngredientId>(corpus.ingredients_of(0).begin(),
+                                      corpus.ingredients_of(0).end()),
+            (std::vector<IngredientId>{1, 2, 3}));
+  EXPECT_EQ(std::vector<IngredientId>(corpus.ingredients_of(1).begin(),
+                                      corpus.ingredients_of(1).end()),
+            (std::vector<IngredientId>{2, 5}));
+}
+
+TEST(RecipeCorpusTest, RejectsEmptyAndBadCuisine) {
+  RecipeCorpus::Builder builder;
+  EXPECT_FALSE(builder.Add(0, {}).ok());
+  EXPECT_FALSE(builder.Add(kNumCuisines, {1}).ok());
+  EXPECT_EQ(builder.size(), 0u);
+}
+
+TEST(RecipeCorpusTest, RecipeViewFields) {
+  const RecipeCorpus corpus = SmallCorpus();
+  const RecipeView view = corpus.recipe(2);
+  EXPECT_EQ(view.index, 2u);
+  EXPECT_EQ(view.cuisine, 1);
+  EXPECT_EQ(view.size(), 1u);
+  EXPECT_EQ(view.ingredients[0], 7);
+}
+
+TEST(RecipeCorpusTest, RecipesOfGroupsByCuisine) {
+  const RecipeCorpus corpus = SmallCorpus();
+  EXPECT_EQ(corpus.recipes_of(0), (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(corpus.recipes_of(1), (std::vector<uint32_t>{2}));
+  EXPECT_TRUE(corpus.recipes_of(2).empty());
+  EXPECT_EQ(corpus.num_recipes_in(0), 2u);
+}
+
+TEST(RecipeCorpusTest, UniqueIngredients) {
+  const RecipeCorpus corpus = SmallCorpus();
+  EXPECT_EQ(corpus.UniqueIngredients(0),
+            (std::vector<IngredientId>{1, 2, 3, 5}));
+  EXPECT_EQ(corpus.UniqueIngredients(),
+            (std::vector<IngredientId>{1, 2, 3, 5, 7}));
+  EXPECT_TRUE(corpus.UniqueIngredients(2).empty());
+}
+
+TEST(RecipeCorpusTest, MeanRecipeSize) {
+  const RecipeCorpus corpus = SmallCorpus();
+  EXPECT_DOUBLE_EQ(corpus.MeanRecipeSize(0), 2.5);  // Sizes 3 and 2.
+  EXPECT_DOUBLE_EQ(corpus.MeanRecipeSize(1), 1.0);
+  EXPECT_DOUBLE_EQ(corpus.MeanRecipeSize(2), 0.0);
+}
+
+TEST(RecipeCorpusTest, TotalMentions) {
+  EXPECT_EQ(SmallCorpus().total_mentions(), 6u);
+}
+
+TEST(RecipeCorpusTest, EmptyCorpus) {
+  RecipeCorpus corpus;
+  EXPECT_EQ(corpus.num_recipes(), 0u);
+  EXPECT_TRUE(corpus.UniqueIngredients().empty());
+}
+
+TEST(RecipeCorpusTest, BuilderIsReusableAfterBuild) {
+  RecipeCorpus::Builder builder;
+  ASSERT_TRUE(builder.Add(0, {1}).ok());
+  const RecipeCorpus first = builder.Build();
+  EXPECT_EQ(first.num_recipes(), 1u);
+  ASSERT_TRUE(builder.Add(1, {2, 3}).ok());
+  const RecipeCorpus second = builder.Build();
+  EXPECT_EQ(second.num_recipes(), 1u);
+  EXPECT_EQ(second.cuisine_of(0), 1);
+}
+
+}  // namespace
+}  // namespace culevo

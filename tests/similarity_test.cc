@@ -1,0 +1,91 @@
+#include "analysis/similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace culevo {
+namespace {
+
+RecipeCorpus ThreeCuisines() {
+  RecipeCorpus::Builder builder;
+  // Cuisines 0 and 1 share ingredients; cuisine 2 is disjoint.
+  EXPECT_TRUE(builder.Add(0, {1, 2, 3}).ok());
+  EXPECT_TRUE(builder.Add(0, {1, 2}).ok());
+  EXPECT_TRUE(builder.Add(1, {1, 2, 4}).ok());
+  EXPECT_TRUE(builder.Add(1, {2, 3}).ok());
+  EXPECT_TRUE(builder.Add(2, {10, 11, 12}).ok());
+  return builder.Build();
+}
+
+TEST(UsageDistanceTest, SelfIsZeroDisjointIsOne) {
+  const RecipeCorpus corpus = ThreeCuisines();
+  EXPECT_NEAR(IngredientUsageDistance(corpus, 0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(IngredientUsageDistance(corpus, 0, 2), 1.0, 1e-12);
+  const double near = IngredientUsageDistance(corpus, 0, 1);
+  EXPECT_GT(near, 0.0);
+  EXPECT_LT(near, 0.5);
+}
+
+TEST(UsageDistanceTest, SymmetricMatrix) {
+  const auto matrix = IngredientUsageDistanceMatrix(ThreeCuisines());
+  ASSERT_EQ(matrix.size(), static_cast<size_t>(kNumCuisines));
+  for (int i = 0; i < kNumCuisines; ++i) {
+    EXPECT_DOUBLE_EQ(matrix[i][i], 0.0);
+    for (int j = 0; j < kNumCuisines; ++j) {
+      EXPECT_DOUBLE_EQ(matrix[i][j], matrix[j][i]);
+    }
+  }
+}
+
+TEST(UsageDistanceTest, EmptyCuisinesAreFar) {
+  const auto matrix = IngredientUsageDistanceMatrix(ThreeCuisines());
+  // Cuisine 5 has no recipes: distance 1 to populated cuisines.
+  EXPECT_DOUBLE_EQ(matrix[5][0], 1.0);
+  // Two empty cuisines: both zero vectors -> distance 0.
+  EXPECT_DOUBLE_EQ(matrix[5][6], 0.0);
+}
+
+TEST(NearestCuisinesTest, OrdersByDistance) {
+  const RecipeCorpus corpus = ThreeCuisines();
+  const std::vector<CuisineNeighbor> neighbors =
+      NearestCuisines(corpus, 0, 5);
+  ASSERT_EQ(neighbors.size(), 2u);  // Only cuisines 1 and 2 are populated.
+  EXPECT_EQ(neighbors[0].cuisine, 1);
+  EXPECT_EQ(neighbors[1].cuisine, 2);
+  EXPECT_LT(neighbors[0].distance, neighbors[1].distance);
+}
+
+TEST(AgglomerativeClusterTest, MergesClosestFirst) {
+  // Three points: A and B close (0.1), C far (1.0).
+  const std::vector<std::vector<double>> matrix = {
+      {0.0, 0.1, 1.0}, {0.1, 0.0, 1.0}, {1.0, 1.0, 0.0}};
+  const std::vector<ClusterMerge> merges = AgglomerativeCluster(matrix);
+  ASSERT_EQ(merges.size(), 2u);
+  EXPECT_EQ(merges[0].members, (std::vector<CuisineId>{0, 1}));
+  EXPECT_DOUBLE_EQ(merges[0].distance, 0.1);
+  EXPECT_EQ(merges[1].members, (std::vector<CuisineId>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(merges[1].distance, 1.0);  // Average linkage.
+}
+
+TEST(AgglomerativeClusterTest, TrivialInputs) {
+  EXPECT_TRUE(AgglomerativeCluster({}).empty());
+  EXPECT_TRUE(AgglomerativeCluster({{0.0}}).empty());
+}
+
+TEST(CutClustersTest, ProducesRequestedPartition) {
+  const std::vector<std::vector<double>> matrix = {
+      {0.0, 0.1, 1.0, 0.9}, {0.1, 0.0, 1.0, 0.9},
+      {1.0, 1.0, 0.0, 0.2}, {0.9, 0.9, 0.2, 0.0}};
+  const auto two = CutClusters(matrix, 2);
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0], (std::vector<CuisineId>{0, 1}));
+  EXPECT_EQ(two[1], (std::vector<CuisineId>{2, 3}));
+
+  const auto four = CutClusters(matrix, 4);
+  EXPECT_EQ(four.size(), 4u);
+  const auto one = CutClusters(matrix, 1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].size(), 4u);
+}
+
+}  // namespace
+}  // namespace culevo

@@ -1,0 +1,86 @@
+#include "core/sweeps.h"
+
+#include <gtest/gtest.h>
+
+#include "lexicon/world_lexicon.h"
+#include "synth/generator.h"
+#include "util/check.h"
+
+namespace culevo {
+namespace {
+
+const RecipeCorpus& SweepCorpus() {
+  static const RecipeCorpus& corpus = []() -> const RecipeCorpus& {
+    const Lexicon& lexicon = WorldLexicon();
+    const CuisineId bn = CuisineFromCode("BN").value();
+    const CuisineProfile profile = BuildCuisineProfile(lexicon, bn, 3);
+    SynthConfig config;
+    RecipeCorpus::Builder builder;
+    CULEVO_CHECK_OK(
+        SynthesizeCuisine(lexicon, profile, config, 400, &builder));
+    return *new RecipeCorpus(builder.Build());
+  }();
+  return corpus;
+}
+
+SimulationConfig FastConfig() {
+  SimulationConfig config;
+  config.replicas = 2;
+  return config;
+}
+
+TEST(SweepTest, MixtureProbProducesOnePointPerValue) {
+  const CuisineId bn = CuisineFromCode("BN").value();
+  ModelParams base;
+  base.mutations = 6;
+  Result<std::vector<SweepPoint>> sweep =
+      SweepMixtureProb(SweepCorpus(), bn, WorldLexicon(), {0.0, 0.5, 1.0},
+                       base, FastConfig());
+  ASSERT_TRUE(sweep.ok());
+  ASSERT_EQ(sweep->size(), 3u);
+  EXPECT_DOUBLE_EQ((*sweep)[0].value, 0.0);
+  EXPECT_DOUBLE_EQ((*sweep)[2].value, 1.0);
+  for (const SweepPoint& point : sweep.value()) {
+    EXPECT_GE(point.mae_ingredient, 0.0);
+    EXPECT_GE(point.mae_category, 0.0);
+  }
+}
+
+TEST(SweepTest, MutationCountPassesValuesThrough) {
+  const CuisineId bn = CuisineFromCode("BN").value();
+  ModelParams base;
+  Result<std::vector<SweepPoint>> sweep = SweepMutationCount(
+      SweepCorpus(), bn, WorldLexicon(), {1, 4, 8}, base, FastConfig());
+  ASSERT_TRUE(sweep.ok());
+  ASSERT_EQ(sweep->size(), 3u);
+  EXPECT_DOUBLE_EQ((*sweep)[1].value, 4.0);
+}
+
+TEST(SweepTest, SizeMutationRateSweep) {
+  const CuisineId bn = CuisineFromCode("BN").value();
+  ModelParams base;
+  Result<std::vector<SweepPoint>> sweep = SweepSizeMutationRate(
+      SweepCorpus(), bn, WorldLexicon(), {0.0, 0.2}, base, FastConfig());
+  ASSERT_TRUE(sweep.ok());
+  ASSERT_EQ(sweep->size(), 2u);
+}
+
+TEST(SweepTest, EmptySweepIsEmpty) {
+  const CuisineId bn = CuisineFromCode("BN").value();
+  ModelParams base;
+  Result<std::vector<SweepPoint>> sweep = SweepMutationCount(
+      SweepCorpus(), bn, WorldLexicon(), {}, base, FastConfig());
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_TRUE(sweep->empty());
+}
+
+TEST(SweepTest, BadCuisinePropagatesError) {
+  ModelParams base;
+  Result<std::vector<SweepPoint>> sweep =
+      SweepMutationCount(SweepCorpus(), CuisineFromCode("ITA").value(),
+                         WorldLexicon(), {4}, base, FastConfig());
+  EXPECT_FALSE(sweep.ok());
+}
+
+}  // namespace
+}  // namespace culevo

@@ -1,0 +1,81 @@
+#include "synth/cuisine_profile.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "lexicon/world_lexicon.h"
+
+namespace culevo {
+namespace {
+
+class CuisineProfileTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CuisineProfileTest, StructurallySound) {
+  const CuisineId cuisine = static_cast<CuisineId>(GetParam());
+  const Lexicon& lexicon = WorldLexicon();
+  const CuisineProfile profile = BuildCuisineProfile(lexicon, cuisine, 7);
+  const CuisineInfo& info = CuisineAt(cuisine);
+
+  // Vocabulary has the Table-I unique-ingredient count, no duplicates.
+  EXPECT_EQ(profile.vocabulary.size(),
+            static_cast<size_t>(info.paper_ingredients));
+  std::set<IngredientId> unique(profile.vocabulary.begin(),
+                                profile.vocabulary.end());
+  EXPECT_EQ(unique.size(), profile.vocabulary.size());
+
+  // The Table-I top-5 occupy the head, in order.
+  for (size_t i = 0; i < info.top_ingredients.size(); ++i) {
+    EXPECT_EQ(lexicon.name(profile.vocabulary[i]), info.top_ingredients[i]);
+  }
+
+  // Preferences: one weight per vocabulary entry, normalized, decreasing
+  // beyond the boosted head.
+  ASSERT_EQ(profile.preference.size(), profile.vocabulary.size());
+  EXPECT_NEAR(std::accumulate(profile.preference.begin(),
+                              profile.preference.end(), 0.0),
+              1.0, 1e-9);
+  for (size_t i = 6; i < profile.preference.size(); ++i) {
+    EXPECT_LE(profile.preference[i], profile.preference[i - 1]);
+  }
+  EXPECT_GT(profile.preference[0], profile.preference[5]);
+
+  // Calibration passthrough.
+  EXPECT_DOUBLE_EQ(profile.liberty, info.liberty);
+  EXPECT_DOUBLE_EQ(profile.mean_recipe_size, info.mean_recipe_size);
+  EXPECT_EQ(profile.min_recipe_size, 2);
+  EXPECT_EQ(profile.max_recipe_size, 38);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCuisines, CuisineProfileTest,
+                         ::testing::Range(0, kNumCuisines));
+
+TEST(CuisineProfileDeterminismTest, SameSeedSameProfile) {
+  const Lexicon& lexicon = WorldLexicon();
+  const CuisineProfile a = BuildCuisineProfile(lexicon, 3, 99);
+  const CuisineProfile b = BuildCuisineProfile(lexicon, 3, 99);
+  EXPECT_EQ(a.vocabulary, b.vocabulary);
+  EXPECT_EQ(a.preference, b.preference);
+}
+
+TEST(CuisineProfileDeterminismTest, DifferentSeedsDifferInTail) {
+  const Lexicon& lexicon = WorldLexicon();
+  const CuisineProfile a = BuildCuisineProfile(lexicon, 3, 1);
+  const CuisineProfile b = BuildCuisineProfile(lexicon, 3, 2);
+  EXPECT_NE(a.vocabulary, b.vocabulary);
+  // Head (top-5) is fixed regardless of seed.
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.vocabulary[i], b.vocabulary[i]);
+  }
+}
+
+TEST(CuisineProfileDeterminismTest, DifferentCuisinesDiffer) {
+  const Lexicon& lexicon = WorldLexicon();
+  const CuisineProfile a = BuildCuisineProfile(lexicon, 0, 7);
+  const CuisineProfile b = BuildCuisineProfile(lexicon, 1, 7);
+  EXPECT_NE(a.vocabulary, b.vocabulary);
+}
+
+}  // namespace
+}  // namespace culevo

@@ -1,0 +1,91 @@
+#include "text/phrase_trie.h"
+
+#include <gtest/gtest.h>
+
+namespace culevo {
+namespace {
+
+std::vector<std::string> Tokens(std::initializer_list<const char*> words) {
+  return std::vector<std::string>(words.begin(), words.end());
+}
+
+TEST(PhraseTrieTest, InsertAndLookup) {
+  PhraseTrie trie;
+  trie.Insert(Tokens({"olive"}), 1);
+  trie.Insert(Tokens({"olive", "oil"}), 2);
+  EXPECT_EQ(trie.Lookup(Tokens({"olive"})), 1);
+  EXPECT_EQ(trie.Lookup(Tokens({"olive", "oil"})), 2);
+  EXPECT_EQ(trie.Lookup(Tokens({"oil"})), PhraseTrie::kNoValue);
+  EXPECT_EQ(trie.Lookup(Tokens({"olive", "oil", "extra"})),
+            PhraseTrie::kNoValue);
+  EXPECT_EQ(trie.num_phrases(), 2u);
+}
+
+TEST(PhraseTrieTest, PrefixWithoutValueIsNotAMatch) {
+  PhraseTrie trie;
+  trie.Insert(Tokens({"ginger", "garlic", "paste"}), 9);
+  EXPECT_EQ(trie.Lookup(Tokens({"ginger"})), PhraseTrie::kNoValue);
+  EXPECT_EQ(trie.Lookup(Tokens({"ginger", "garlic"})), PhraseTrie::kNoValue);
+}
+
+TEST(PhraseTrieTest, OverwriteKeepsCount) {
+  PhraseTrie trie;
+  trie.Insert(Tokens({"salt"}), 1);
+  trie.Insert(Tokens({"salt"}), 5);
+  EXPECT_EQ(trie.Lookup(Tokens({"salt"})), 5);
+  EXPECT_EQ(trie.num_phrases(), 1u);
+}
+
+TEST(PhraseTrieTest, LongestMatchPrefersLongerPhrase) {
+  PhraseTrie trie;
+  trie.Insert(Tokens({"ginger"}), 1);
+  trie.Insert(Tokens({"garlic"}), 2);
+  trie.Insert(Tokens({"ginger", "garlic", "paste"}), 3);
+  const std::vector<std::string> text =
+      Tokens({"ginger", "garlic", "paste", "x"});
+  size_t len = 0;
+  EXPECT_EQ(trie.LongestMatch(text, 0, &len), 3);
+  EXPECT_EQ(len, 3u);
+  EXPECT_EQ(trie.LongestMatch(text, 1, &len), 2);
+  EXPECT_EQ(len, 1u);
+  EXPECT_EQ(trie.LongestMatch(text, 3, &len), PhraseTrie::kNoValue);
+  EXPECT_EQ(len, 0u);
+}
+
+TEST(PhraseTrieTest, LongestMatchFallsBackToShorterValue) {
+  PhraseTrie trie;
+  trie.Insert(Tokens({"sea"}), 1);
+  trie.Insert(Tokens({"sea", "salt", "flakes"}), 2);
+  // "sea salt" walks two nodes but only "sea" carries a value.
+  size_t len = 0;
+  EXPECT_EQ(trie.LongestMatch(Tokens({"sea", "salt"}), 0, &len), 1);
+  EXPECT_EQ(len, 1u);
+}
+
+TEST(PhraseTrieTest, ScanAllSkipsUnknownTokens) {
+  PhraseTrie trie;
+  trie.Insert(Tokens({"olive", "oil"}), 1);
+  trie.Insert(Tokens({"tomato"}), 2);
+  const std::vector<int64_t> hits =
+      trie.ScanAll(Tokens({"fresh", "olive", "oil", "and", "tomato"}));
+  EXPECT_EQ(hits, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(PhraseTrieTest, ScanAllConsumesMatchedSpan) {
+  PhraseTrie trie;
+  trie.Insert(Tokens({"olive", "oil"}), 1);
+  trie.Insert(Tokens({"oil"}), 2);
+  // After matching "olive oil", scanning resumes *after* the phrase, so the
+  // inner "oil" is not reported separately.
+  EXPECT_EQ(trie.ScanAll(Tokens({"olive", "oil"})),
+            (std::vector<int64_t>{1}));
+}
+
+TEST(PhraseTrieTest, EmptyTrieMatchesNothing) {
+  PhraseTrie trie;
+  EXPECT_TRUE(trie.ScanAll(Tokens({"a", "b"})).empty());
+  EXPECT_EQ(trie.num_phrases(), 0u);
+}
+
+}  // namespace
+}  // namespace culevo

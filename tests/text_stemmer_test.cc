@@ -1,0 +1,54 @@
+#include "text/stemmer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+namespace culevo {
+namespace {
+
+using StemCase = std::pair<const char*, const char*>;
+
+class StemTokenTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(StemTokenTest, StemsAsExpected) {
+  const auto [input, expected] = GetParam();
+  EXPECT_EQ(StemToken(input), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rules, StemTokenTest,
+    ::testing::Values(
+        // *ies -> *y
+        StemCase{"berries", "berry"}, StemCase{"cherries", "cherry"},
+        // *oes -> *o
+        StemCase{"tomatoes", "tomato"}, StemCase{"potatoes", "potato"},
+        // sibilant *es
+        StemCase{"peaches", "peach"}, StemCase{"radishes", "radish"},
+        StemCase{"molasses", "molass"}, StemCase{"boxes", "box"},
+        // plain s
+        StemCase{"onions", "onion"}, StemCase{"carrots", "carrot"},
+        StemCase{"leaves", "leave"},
+        // protected endings
+        StemCase{"swiss", "swiss"}, StemCase{"couscous", "couscous"},
+        StemCase{"asparagus", "asparagus"}, StemCase{"basis", "basis"},
+        // short tokens unchanged
+        StemCase{"pea", "pea"}, StemCase{"oat", "oat"}, StemCase{"s", "s"},
+        // already singular
+        StemCase{"tomato", "tomato"}, StemCase{"garlic", "garlic"}));
+
+TEST(StemPhraseTest, StemsEveryToken) {
+  EXPECT_EQ(StemPhrase("roasted tomatoes and onions"),
+            "roasted tomato and onion");
+  EXPECT_EQ(StemPhrase(""), "");
+  EXPECT_EQ(StemPhrase("single"), "single");
+}
+
+TEST(StemPhraseTest, Idempotent) {
+  const std::string once = StemPhrase("berries leaves boxes");
+  EXPECT_EQ(StemPhrase(once), once);
+}
+
+}  // namespace
+}  // namespace culevo

@@ -1,0 +1,161 @@
+#include "util/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "util/rng.h"
+
+namespace culevo {
+namespace {
+
+TEST(StandardNormalTest, MeanZeroVarianceOne) {
+  Rng rng(1);
+  const int n = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = SampleStandardNormal(&rng);
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(TruncatedNormalTest, RespectsBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const int v = SampleTruncatedNormalInt(&rng, 9.0, 3.0, 2, 38);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 38);
+  }
+}
+
+TEST(TruncatedNormalTest, MeanNearRequested) {
+  Rng rng(3);
+  double total = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    total += SampleTruncatedNormalInt(&rng, 9.0, 3.0, 2, 38);
+  }
+  EXPECT_NEAR(total / n, 9.0, 0.15);
+}
+
+TEST(TruncatedNormalTest, DegenerateIntervalReturnsBound) {
+  Rng rng(4);
+  EXPECT_EQ(SampleTruncatedNormalInt(&rng, 100.0, 1.0, 5, 5), 5);
+}
+
+TEST(TruncatedNormalTest, FarMeanClampsGracefully) {
+  Rng rng(5);
+  const int v = SampleTruncatedNormalInt(&rng, 1000.0, 0.001, 2, 38);
+  EXPECT_GE(v, 2);
+  EXPECT_LE(v, 38);
+}
+
+TEST(ZipfWeightsTest, NormalizedAndDecreasing) {
+  const std::vector<double> w = ZipfWeights(100, 1.0);
+  EXPECT_NEAR(std::accumulate(w.begin(), w.end(), 0.0), 1.0, 1e-9);
+  for (size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+}
+
+TEST(ZipfWeightsTest, ShiftFlattensHead) {
+  const std::vector<double> plain = ZipfWeights(50, 1.0, 0.0);
+  const std::vector<double> shifted = ZipfWeights(50, 1.0, 5.0);
+  EXPECT_GT(plain[0] / plain[1], shifted[0] / shifted[1]);
+}
+
+TEST(DiscreteSamplerTest, MatchesWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  DiscreteSampler sampler(weights);
+  Rng rng(6);
+  std::vector<int> counts(weights.size(), 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(&rng)];
+  const double total = 10.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, weights[i] / total,
+                0.01);
+  }
+}
+
+TEST(DiscreteSamplerTest, ZeroWeightNeverSampled) {
+  DiscreteSampler sampler({1.0, 0.0, 1.0});
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) EXPECT_NE(sampler.Sample(&rng), 1u);
+}
+
+TEST(DiscreteSamplerTest, SingleElement) {
+  DiscreteSampler sampler({5.0});
+  Rng rng(8);
+  EXPECT_EQ(sampler.Sample(&rng), 0u);
+}
+
+struct SwrParam {
+  uint32_t n;
+  uint32_t k;
+};
+
+class SampleWithoutReplacementTest
+    : public ::testing::TestWithParam<SwrParam> {};
+
+TEST_P(SampleWithoutReplacementTest, DistinctAndInRange) {
+  const SwrParam p = GetParam();
+  Rng rng(p.n * 31 + p.k);
+  for (int round = 0; round < 50; ++round) {
+    const std::vector<uint32_t> sample =
+        SampleWithoutReplacement(&rng, p.n, p.k);
+    EXPECT_EQ(sample.size(), p.k);
+    std::set<uint32_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), p.k);
+    for (uint32_t v : sample) EXPECT_LT(v, p.n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SampleWithoutReplacementTest,
+    ::testing::Values(SwrParam{1, 1}, SwrParam{5, 5}, SwrParam{10, 3},
+                      SwrParam{100, 1}, SwrParam{100, 99}, SwrParam{721, 20},
+                      SwrParam{1000, 500}));
+
+TEST(SampleWithoutReplacementTest, CoversAllElements) {
+  Rng rng(9);
+  std::set<uint32_t> seen;
+  for (int round = 0; round < 200; ++round) {
+    for (uint32_t v : SampleWithoutReplacement(&rng, 10, 3)) seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(WeightedSampleWithoutReplacementTest, DistinctRespectsZeroWeights) {
+  Rng rng(10);
+  const std::vector<double> weights = {0.0, 1.0, 2.0, 0.0, 3.0};
+  for (int round = 0; round < 100; ++round) {
+    const std::vector<uint32_t> sample =
+        WeightedSampleWithoutReplacement(&rng, weights, 3);
+    EXPECT_EQ(sample.size(), 3u);
+    std::set<uint32_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 3u);
+    EXPECT_EQ(unique.count(0), 0u);
+    EXPECT_EQ(unique.count(3), 0u);
+  }
+}
+
+TEST(WeightedSampleWithoutReplacementTest, HigherWeightPickedFirstMoreOften) {
+  Rng rng(11);
+  const std::vector<double> weights = {1.0, 10.0};
+  int heavy_first = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (WeightedSampleWithoutReplacement(&rng, weights, 1)[0] == 1) {
+      ++heavy_first;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(heavy_first) / n, 10.0 / 11.0, 0.02);
+}
+
+}  // namespace
+}  // namespace culevo

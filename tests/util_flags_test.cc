@@ -1,0 +1,69 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace culevo {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "binary");
+  FlagParser parser;
+  EXPECT_TRUE(
+      parser.Parse(static_cast<int>(args.size()), args.data()).ok());
+  return parser;
+}
+
+TEST(FlagParserTest, EqualsForm) {
+  FlagParser flags = Parse({"--scale=0.5", "--name=x"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 0.5);
+  EXPECT_EQ(flags.GetString("name", ""), "x");
+}
+
+TEST(FlagParserTest, SpaceForm) {
+  FlagParser flags = Parse({"--replicas", "7"});
+  EXPECT_EQ(flags.GetInt("replicas", 0), 7);
+}
+
+TEST(FlagParserTest, BareBooleanForm) {
+  FlagParser flags = Parse({"--verbose"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.Has("verbose"));
+  EXPECT_FALSE(flags.Has("other"));
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser flags = Parse({"input.tsv", "--x=1", "output.tsv"});
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.tsv", "output.tsv"}));
+}
+
+TEST(FlagParserTest, DuplicateFlagRejected) {
+  const char* argv[] = {"bin", "--a=1", "--a=2"};
+  FlagParser parser;
+  EXPECT_FALSE(parser.Parse(3, argv).ok());
+}
+
+TEST(FlagParserTest, MalformedValueFallsBackToDefault) {
+  FlagParser flags = Parse({"--n=abc", "--d=xyz"});
+  EXPECT_EQ(flags.GetInt("n", 9), 9);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("d", 2.5), 2.5);
+}
+
+TEST(FlagParserTest, BoolSpellings) {
+  FlagParser flags =
+      Parse({"--a=true", "--b=0", "--c=YES", "--d=off", "--e=maybe"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+  EXPECT_TRUE(flags.GetBool("e", true));  // Unparseable -> default.
+}
+
+TEST(FlagParserTest, MissingFlagUsesDefault) {
+  FlagParser flags = Parse({});
+  EXPECT_EQ(flags.GetString("missing", "dflt"), "dflt");
+  EXPECT_EQ(flags.GetInt("missing", -3), -3);
+}
+
+}  // namespace
+}  // namespace culevo

@@ -1,0 +1,85 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace culevo {
+namespace {
+
+TEST(SplitTest, BasicFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, EmptyFieldsPreserved) {
+  EXPECT_EQ(Split(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitAndTrimTest, DropsEmptyAndTrims) {
+  EXPECT_EQ(SplitAndTrim("  a ; ;b ;", ';'),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(TrimTest, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+  EXPECT_EQ(Trim("inner space kept"), "inner space kept");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("MiXeD 123"), "mixed 123");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foo", "foobar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("bar", "foobar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(ReplaceAllTest, ReplacesEveryOccurrence) {
+  EXPECT_EQ(ReplaceAll("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");  // Non-overlapping.
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");   // Empty pattern no-op.
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(ParseInt64Test, AcceptsWholeStrings) {
+  long long v = 0;
+  EXPECT_TRUE(ParseInt64("123", &v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(ParseInt64("  -5 ", &v));
+  EXPECT_EQ(v, -5);
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+}
+
+TEST(ParseDoubleTest, AcceptsWholeStrings) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("2.5", &v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+}
+
+}  // namespace
+}  // namespace culevo

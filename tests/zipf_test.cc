@@ -1,0 +1,66 @@
+#include "analysis/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/distributions.h"
+
+namespace culevo {
+namespace {
+
+TEST(FitZipfTest, RecoversExactPowerLaw) {
+  // f(r) = 0.5 * r^(-1.2), an exact power law.
+  std::vector<double> values;
+  for (int r = 1; r <= 200; ++r) {
+    values.push_back(0.5 * std::pow(static_cast<double>(r), -1.2));
+  }
+  const ZipfFit fit =
+      FitZipf(RankFrequency::FromFrequencies(std::move(values)));
+  EXPECT_NEAR(fit.exponent, 1.2, 1e-9);
+  EXPECT_NEAR(fit.intercept, std::log10(0.5), 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(FitZipfTest, FlatCurveHasZeroExponent) {
+  const ZipfFit fit = FitZipf(
+      RankFrequency::FromFrequencies(std::vector<double>(50, 0.3)));
+  EXPECT_NEAR(fit.exponent, 0.0, 1e-9);
+}
+
+TEST(FitZipfTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(FitZipf(RankFrequency()).exponent, 0.0);
+  EXPECT_DOUBLE_EQ(
+      FitZipf(RankFrequency::FromFrequencies({0.5})).exponent, 0.0);
+  // Zero entries are skipped.
+  const ZipfFit fit =
+      FitZipf(RankFrequency::FromFrequencies({0.5, 0.25, 0.0, 0.0}));
+  EXPECT_GT(fit.exponent, 0.0);
+}
+
+TEST(FitZipfTest, NoisyPowerLawStillGoodFit) {
+  std::vector<double> zipf = ZipfWeights(300, 1.0);
+  const ZipfFit fit =
+      FitZipf(RankFrequency::FromFrequencies(std::move(zipf)));
+  EXPECT_NEAR(fit.exponent, 1.0, 0.05);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(IngredientPopularityCurveTest, CountsPresencePerRecipe) {
+  RecipeCorpus::Builder builder;
+  ASSERT_TRUE(builder.Add(0, {1, 2}).ok());
+  ASSERT_TRUE(builder.Add(0, {1, 3}).ok());
+  ASSERT_TRUE(builder.Add(0, {1, 2}).ok());
+  ASSERT_TRUE(builder.Add(1, {7}).ok());
+  const RecipeCorpus corpus = builder.Build();
+
+  const RankFrequency curve = IngredientPopularityCurve(corpus, 0);
+  ASSERT_EQ(curve.size(), 3u);           // Ingredients 1, 2, 3.
+  EXPECT_DOUBLE_EQ(curve.at_rank(1), 1.0);        // 1 in 3/3.
+  EXPECT_DOUBLE_EQ(curve.at_rank(2), 2.0 / 3.0);  // 2 in 2/3.
+  EXPECT_DOUBLE_EQ(curve.at_rank(3), 1.0 / 3.0);  // 3 in 1/3.
+  EXPECT_TRUE(IngredientPopularityCurve(corpus, 5).empty());
+}
+
+}  // namespace
+}  // namespace culevo
