@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_horizontal.dir/ablation_horizontal.cc.o"
+  "CMakeFiles/ablation_horizontal.dir/ablation_horizontal.cc.o.d"
+  "ablation_horizontal"
+  "ablation_horizontal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_horizontal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mixture.dir/ablation_mixture.cc.o"
+  "CMakeFiles/ablation_mixture.dir/ablation_mixture.cc.o.d"
+  "ablation_mixture"
+  "ablation_mixture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mixture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

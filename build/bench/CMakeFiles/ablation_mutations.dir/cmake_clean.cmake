@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mutations.dir/ablation_mutations.cc.o"
+  "CMakeFiles/ablation_mutations.dir/ablation_mutations.cc.o.d"
+  "ablation_mutations"
+  "ablation_mutations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mutations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

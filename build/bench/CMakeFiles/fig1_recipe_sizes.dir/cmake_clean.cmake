@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_recipe_sizes.dir/fig1_recipe_sizes.cc.o"
+  "CMakeFiles/fig1_recipe_sizes.dir/fig1_recipe_sizes.cc.o.d"
+  "fig1_recipe_sizes"
+  "fig1_recipe_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_recipe_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_category_usage.dir/fig2_category_usage.cc.o"
+  "CMakeFiles/fig2_category_usage.dir/fig2_category_usage.cc.o.d"
+  "fig2_category_usage"
+  "fig2_category_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_category_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

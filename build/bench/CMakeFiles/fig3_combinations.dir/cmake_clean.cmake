@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_combinations.dir/fig3_combinations.cc.o"
+  "CMakeFiles/fig3_combinations.dir/fig3_combinations.cc.o.d"
+  "fig3_combinations"
+  "fig3_combinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_combinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_models.dir/fig4_models.cc.o"
+  "CMakeFiles/fig4_models.dir/fig4_models.cc.o.d"
+  "fig4_models"
+  "fig4_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_statistics.dir/table1_statistics.cc.o"
+  "CMakeFiles/table1_statistics.dir/table1_statistics.cc.o.d"
+  "table1_statistics"
+  "table1_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

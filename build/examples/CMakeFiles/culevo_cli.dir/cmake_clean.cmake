@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culevo_cli.dir/culevo_cli.cpp.o"
+  "CMakeFiles/culevo_cli.dir/culevo_cli.cpp.o.d"
+  "culevo_cli"
+  "culevo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culevo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culinary_atlas.dir/culinary_atlas.cpp.o"
+  "CMakeFiles/culinary_atlas.dir/culinary_atlas.cpp.o.d"
+  "culinary_atlas"
+  "culinary_atlas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culinary_atlas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

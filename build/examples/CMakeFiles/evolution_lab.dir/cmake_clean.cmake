@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolution_lab.dir/evolution_lab.cpp.o"
+  "CMakeFiles/evolution_lab.dir/evolution_lab.cpp.o.d"
+  "evolution_lab"
+  "evolution_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolution_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

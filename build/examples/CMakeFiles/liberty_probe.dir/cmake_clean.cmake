@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liberty_probe.dir/liberty_probe.cpp.o"
+  "CMakeFiles/liberty_probe.dir/liberty_probe.cpp.o.d"
+  "liberty_probe"
+  "liberty_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liberty_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recipe_invention.dir/recipe_invention.cpp.o"
+  "CMakeFiles/recipe_invention.dir/recipe_invention.cpp.o.d"
+  "recipe_invention"
+  "recipe_invention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recipe_invention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/apriori.cc" "src/analysis/CMakeFiles/culevo_analysis.dir/apriori.cc.o" "gcc" "src/analysis/CMakeFiles/culevo_analysis.dir/apriori.cc.o.d"
+  "/root/repo/src/analysis/category_usage.cc" "src/analysis/CMakeFiles/culevo_analysis.dir/category_usage.cc.o" "gcc" "src/analysis/CMakeFiles/culevo_analysis.dir/category_usage.cc.o.d"
+  "/root/repo/src/analysis/combinations.cc" "src/analysis/CMakeFiles/culevo_analysis.dir/combinations.cc.o" "gcc" "src/analysis/CMakeFiles/culevo_analysis.dir/combinations.cc.o.d"
+  "/root/repo/src/analysis/cooccurrence.cc" "src/analysis/CMakeFiles/culevo_analysis.dir/cooccurrence.cc.o" "gcc" "src/analysis/CMakeFiles/culevo_analysis.dir/cooccurrence.cc.o.d"
+  "/root/repo/src/analysis/distance.cc" "src/analysis/CMakeFiles/culevo_analysis.dir/distance.cc.o" "gcc" "src/analysis/CMakeFiles/culevo_analysis.dir/distance.cc.o.d"
+  "/root/repo/src/analysis/eclat.cc" "src/analysis/CMakeFiles/culevo_analysis.dir/eclat.cc.o" "gcc" "src/analysis/CMakeFiles/culevo_analysis.dir/eclat.cc.o.d"
+  "/root/repo/src/analysis/export.cc" "src/analysis/CMakeFiles/culevo_analysis.dir/export.cc.o" "gcc" "src/analysis/CMakeFiles/culevo_analysis.dir/export.cc.o.d"
+  "/root/repo/src/analysis/network_stats.cc" "src/analysis/CMakeFiles/culevo_analysis.dir/network_stats.cc.o" "gcc" "src/analysis/CMakeFiles/culevo_analysis.dir/network_stats.cc.o.d"
+  "/root/repo/src/analysis/overrepresentation.cc" "src/analysis/CMakeFiles/culevo_analysis.dir/overrepresentation.cc.o" "gcc" "src/analysis/CMakeFiles/culevo_analysis.dir/overrepresentation.cc.o.d"
+  "/root/repo/src/analysis/rank_frequency.cc" "src/analysis/CMakeFiles/culevo_analysis.dir/rank_frequency.cc.o" "gcc" "src/analysis/CMakeFiles/culevo_analysis.dir/rank_frequency.cc.o.d"
+  "/root/repo/src/analysis/similarity.cc" "src/analysis/CMakeFiles/culevo_analysis.dir/similarity.cc.o" "gcc" "src/analysis/CMakeFiles/culevo_analysis.dir/similarity.cc.o.d"
+  "/root/repo/src/analysis/summary.cc" "src/analysis/CMakeFiles/culevo_analysis.dir/summary.cc.o" "gcc" "src/analysis/CMakeFiles/culevo_analysis.dir/summary.cc.o.d"
+  "/root/repo/src/analysis/transactions.cc" "src/analysis/CMakeFiles/culevo_analysis.dir/transactions.cc.o" "gcc" "src/analysis/CMakeFiles/culevo_analysis.dir/transactions.cc.o.d"
+  "/root/repo/src/analysis/zipf.cc" "src/analysis/CMakeFiles/culevo_analysis.dir/zipf.cc.o" "gcc" "src/analysis/CMakeFiles/culevo_analysis.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/culevo_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/culevo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexicon/CMakeFiles/culevo_lexicon.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/culevo_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culevo_analysis.dir/apriori.cc.o"
+  "CMakeFiles/culevo_analysis.dir/apriori.cc.o.d"
+  "CMakeFiles/culevo_analysis.dir/category_usage.cc.o"
+  "CMakeFiles/culevo_analysis.dir/category_usage.cc.o.d"
+  "CMakeFiles/culevo_analysis.dir/combinations.cc.o"
+  "CMakeFiles/culevo_analysis.dir/combinations.cc.o.d"
+  "CMakeFiles/culevo_analysis.dir/cooccurrence.cc.o"
+  "CMakeFiles/culevo_analysis.dir/cooccurrence.cc.o.d"
+  "CMakeFiles/culevo_analysis.dir/distance.cc.o"
+  "CMakeFiles/culevo_analysis.dir/distance.cc.o.d"
+  "CMakeFiles/culevo_analysis.dir/eclat.cc.o"
+  "CMakeFiles/culevo_analysis.dir/eclat.cc.o.d"
+  "CMakeFiles/culevo_analysis.dir/export.cc.o"
+  "CMakeFiles/culevo_analysis.dir/export.cc.o.d"
+  "CMakeFiles/culevo_analysis.dir/network_stats.cc.o"
+  "CMakeFiles/culevo_analysis.dir/network_stats.cc.o.d"
+  "CMakeFiles/culevo_analysis.dir/overrepresentation.cc.o"
+  "CMakeFiles/culevo_analysis.dir/overrepresentation.cc.o.d"
+  "CMakeFiles/culevo_analysis.dir/rank_frequency.cc.o"
+  "CMakeFiles/culevo_analysis.dir/rank_frequency.cc.o.d"
+  "CMakeFiles/culevo_analysis.dir/similarity.cc.o"
+  "CMakeFiles/culevo_analysis.dir/similarity.cc.o.d"
+  "CMakeFiles/culevo_analysis.dir/summary.cc.o"
+  "CMakeFiles/culevo_analysis.dir/summary.cc.o.d"
+  "CMakeFiles/culevo_analysis.dir/transactions.cc.o"
+  "CMakeFiles/culevo_analysis.dir/transactions.cc.o.d"
+  "CMakeFiles/culevo_analysis.dir/zipf.cc.o"
+  "CMakeFiles/culevo_analysis.dir/zipf.cc.o.d"
+  "libculevo_analysis.a"
+  "libculevo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culevo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/copy_mutate.cc" "src/core/CMakeFiles/culevo_core.dir/copy_mutate.cc.o" "gcc" "src/core/CMakeFiles/culevo_core.dir/copy_mutate.cc.o.d"
+  "/root/repo/src/core/evaluator.cc" "src/core/CMakeFiles/culevo_core.dir/evaluator.cc.o" "gcc" "src/core/CMakeFiles/culevo_core.dir/evaluator.cc.o.d"
+  "/root/repo/src/core/evolution_model.cc" "src/core/CMakeFiles/culevo_core.dir/evolution_model.cc.o" "gcc" "src/core/CMakeFiles/culevo_core.dir/evolution_model.cc.o.d"
+  "/root/repo/src/core/fitness.cc" "src/core/CMakeFiles/culevo_core.dir/fitness.cc.o" "gcc" "src/core/CMakeFiles/culevo_core.dir/fitness.cc.o.d"
+  "/root/repo/src/core/fitting.cc" "src/core/CMakeFiles/culevo_core.dir/fitting.cc.o" "gcc" "src/core/CMakeFiles/culevo_core.dir/fitting.cc.o.d"
+  "/root/repo/src/core/horizontal.cc" "src/core/CMakeFiles/culevo_core.dir/horizontal.cc.o" "gcc" "src/core/CMakeFiles/culevo_core.dir/horizontal.cc.o.d"
+  "/root/repo/src/core/model_selection.cc" "src/core/CMakeFiles/culevo_core.dir/model_selection.cc.o" "gcc" "src/core/CMakeFiles/culevo_core.dir/model_selection.cc.o.d"
+  "/root/repo/src/core/null_model.cc" "src/core/CMakeFiles/culevo_core.dir/null_model.cc.o" "gcc" "src/core/CMakeFiles/culevo_core.dir/null_model.cc.o.d"
+  "/root/repo/src/core/recipe_generator.cc" "src/core/CMakeFiles/culevo_core.dir/recipe_generator.cc.o" "gcc" "src/core/CMakeFiles/culevo_core.dir/recipe_generator.cc.o.d"
+  "/root/repo/src/core/simulation.cc" "src/core/CMakeFiles/culevo_core.dir/simulation.cc.o" "gcc" "src/core/CMakeFiles/culevo_core.dir/simulation.cc.o.d"
+  "/root/repo/src/core/sweeps.cc" "src/core/CMakeFiles/culevo_core.dir/sweeps.cc.o" "gcc" "src/core/CMakeFiles/culevo_core.dir/sweeps.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/culevo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/culevo_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/lexicon/CMakeFiles/culevo_lexicon.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/culevo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/culevo_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culevo_core.dir/copy_mutate.cc.o"
+  "CMakeFiles/culevo_core.dir/copy_mutate.cc.o.d"
+  "CMakeFiles/culevo_core.dir/evaluator.cc.o"
+  "CMakeFiles/culevo_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/culevo_core.dir/evolution_model.cc.o"
+  "CMakeFiles/culevo_core.dir/evolution_model.cc.o.d"
+  "CMakeFiles/culevo_core.dir/fitness.cc.o"
+  "CMakeFiles/culevo_core.dir/fitness.cc.o.d"
+  "CMakeFiles/culevo_core.dir/fitting.cc.o"
+  "CMakeFiles/culevo_core.dir/fitting.cc.o.d"
+  "CMakeFiles/culevo_core.dir/horizontal.cc.o"
+  "CMakeFiles/culevo_core.dir/horizontal.cc.o.d"
+  "CMakeFiles/culevo_core.dir/model_selection.cc.o"
+  "CMakeFiles/culevo_core.dir/model_selection.cc.o.d"
+  "CMakeFiles/culevo_core.dir/null_model.cc.o"
+  "CMakeFiles/culevo_core.dir/null_model.cc.o.d"
+  "CMakeFiles/culevo_core.dir/recipe_generator.cc.o"
+  "CMakeFiles/culevo_core.dir/recipe_generator.cc.o.d"
+  "CMakeFiles/culevo_core.dir/simulation.cc.o"
+  "CMakeFiles/culevo_core.dir/simulation.cc.o.d"
+  "CMakeFiles/culevo_core.dir/sweeps.cc.o"
+  "CMakeFiles/culevo_core.dir/sweeps.cc.o.d"
+  "libculevo_core.a"
+  "libculevo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culevo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/corpus_filter.cc" "src/corpus/CMakeFiles/culevo_corpus.dir/corpus_filter.cc.o" "gcc" "src/corpus/CMakeFiles/culevo_corpus.dir/corpus_filter.cc.o.d"
+  "/root/repo/src/corpus/corpus_io.cc" "src/corpus/CMakeFiles/culevo_corpus.dir/corpus_io.cc.o" "gcc" "src/corpus/CMakeFiles/culevo_corpus.dir/corpus_io.cc.o.d"
+  "/root/repo/src/corpus/corpus_stats.cc" "src/corpus/CMakeFiles/culevo_corpus.dir/corpus_stats.cc.o" "gcc" "src/corpus/CMakeFiles/culevo_corpus.dir/corpus_stats.cc.o.d"
+  "/root/repo/src/corpus/cuisine.cc" "src/corpus/CMakeFiles/culevo_corpus.dir/cuisine.cc.o" "gcc" "src/corpus/CMakeFiles/culevo_corpus.dir/cuisine.cc.o.d"
+  "/root/repo/src/corpus/ingestion.cc" "src/corpus/CMakeFiles/culevo_corpus.dir/ingestion.cc.o" "gcc" "src/corpus/CMakeFiles/culevo_corpus.dir/ingestion.cc.o.d"
+  "/root/repo/src/corpus/recipe_corpus.cc" "src/corpus/CMakeFiles/culevo_corpus.dir/recipe_corpus.cc.o" "gcc" "src/corpus/CMakeFiles/culevo_corpus.dir/recipe_corpus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lexicon/CMakeFiles/culevo_lexicon.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/culevo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/culevo_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culevo_corpus.dir/corpus_filter.cc.o"
+  "CMakeFiles/culevo_corpus.dir/corpus_filter.cc.o.d"
+  "CMakeFiles/culevo_corpus.dir/corpus_io.cc.o"
+  "CMakeFiles/culevo_corpus.dir/corpus_io.cc.o.d"
+  "CMakeFiles/culevo_corpus.dir/corpus_stats.cc.o"
+  "CMakeFiles/culevo_corpus.dir/corpus_stats.cc.o.d"
+  "CMakeFiles/culevo_corpus.dir/cuisine.cc.o"
+  "CMakeFiles/culevo_corpus.dir/cuisine.cc.o.d"
+  "CMakeFiles/culevo_corpus.dir/ingestion.cc.o"
+  "CMakeFiles/culevo_corpus.dir/ingestion.cc.o.d"
+  "CMakeFiles/culevo_corpus.dir/recipe_corpus.cc.o"
+  "CMakeFiles/culevo_corpus.dir/recipe_corpus.cc.o.d"
+  "libculevo_corpus.a"
+  "libculevo_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culevo_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

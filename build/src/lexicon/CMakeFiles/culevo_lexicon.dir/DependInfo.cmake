@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lexicon/category.cc" "src/lexicon/CMakeFiles/culevo_lexicon.dir/category.cc.o" "gcc" "src/lexicon/CMakeFiles/culevo_lexicon.dir/category.cc.o.d"
+  "/root/repo/src/lexicon/lexicon.cc" "src/lexicon/CMakeFiles/culevo_lexicon.dir/lexicon.cc.o" "gcc" "src/lexicon/CMakeFiles/culevo_lexicon.dir/lexicon.cc.o.d"
+  "/root/repo/src/lexicon/lexicon_io.cc" "src/lexicon/CMakeFiles/culevo_lexicon.dir/lexicon_io.cc.o" "gcc" "src/lexicon/CMakeFiles/culevo_lexicon.dir/lexicon_io.cc.o.d"
+  "/root/repo/src/lexicon/world_lexicon.cc" "src/lexicon/CMakeFiles/culevo_lexicon.dir/world_lexicon.cc.o" "gcc" "src/lexicon/CMakeFiles/culevo_lexicon.dir/world_lexicon.cc.o.d"
+  "/root/repo/src/lexicon/world_lexicon_data.cc" "src/lexicon/CMakeFiles/culevo_lexicon.dir/world_lexicon_data.cc.o" "gcc" "src/lexicon/CMakeFiles/culevo_lexicon.dir/world_lexicon_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/culevo_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/culevo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culevo_lexicon.dir/category.cc.o"
+  "CMakeFiles/culevo_lexicon.dir/category.cc.o.d"
+  "CMakeFiles/culevo_lexicon.dir/lexicon.cc.o"
+  "CMakeFiles/culevo_lexicon.dir/lexicon.cc.o.d"
+  "CMakeFiles/culevo_lexicon.dir/lexicon_io.cc.o"
+  "CMakeFiles/culevo_lexicon.dir/lexicon_io.cc.o.d"
+  "CMakeFiles/culevo_lexicon.dir/world_lexicon.cc.o"
+  "CMakeFiles/culevo_lexicon.dir/world_lexicon.cc.o.d"
+  "CMakeFiles/culevo_lexicon.dir/world_lexicon_data.cc.o"
+  "CMakeFiles/culevo_lexicon.dir/world_lexicon_data.cc.o.d"
+  "libculevo_lexicon.a"
+  "libculevo_lexicon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culevo_lexicon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+src/lexicon/CMakeFiles/culevo_lexicon.dir/world_lexicon_data.cc.o: \
+ /root/repo/src/lexicon/world_lexicon_data.cc /usr/include/stdc-predef.h

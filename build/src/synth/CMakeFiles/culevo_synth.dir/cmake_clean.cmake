@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culevo_synth.dir/cuisine_profile.cc.o"
+  "CMakeFiles/culevo_synth.dir/cuisine_profile.cc.o.d"
+  "CMakeFiles/culevo_synth.dir/generator.cc.o"
+  "CMakeFiles/culevo_synth.dir/generator.cc.o.d"
+  "libculevo_synth.a"
+  "libculevo_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culevo_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

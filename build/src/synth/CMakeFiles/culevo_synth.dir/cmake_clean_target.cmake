@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libculevo_synth.a"
+)

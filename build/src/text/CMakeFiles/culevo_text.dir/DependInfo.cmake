@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/ingredient_parser.cc" "src/text/CMakeFiles/culevo_text.dir/ingredient_parser.cc.o" "gcc" "src/text/CMakeFiles/culevo_text.dir/ingredient_parser.cc.o.d"
+  "/root/repo/src/text/normalize.cc" "src/text/CMakeFiles/culevo_text.dir/normalize.cc.o" "gcc" "src/text/CMakeFiles/culevo_text.dir/normalize.cc.o.d"
+  "/root/repo/src/text/phrase_trie.cc" "src/text/CMakeFiles/culevo_text.dir/phrase_trie.cc.o" "gcc" "src/text/CMakeFiles/culevo_text.dir/phrase_trie.cc.o.d"
+  "/root/repo/src/text/stemmer.cc" "src/text/CMakeFiles/culevo_text.dir/stemmer.cc.o" "gcc" "src/text/CMakeFiles/culevo_text.dir/stemmer.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/culevo_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/culevo_text.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/culevo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

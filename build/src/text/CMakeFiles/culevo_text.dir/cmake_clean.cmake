@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culevo_text.dir/ingredient_parser.cc.o"
+  "CMakeFiles/culevo_text.dir/ingredient_parser.cc.o.d"
+  "CMakeFiles/culevo_text.dir/normalize.cc.o"
+  "CMakeFiles/culevo_text.dir/normalize.cc.o.d"
+  "CMakeFiles/culevo_text.dir/phrase_trie.cc.o"
+  "CMakeFiles/culevo_text.dir/phrase_trie.cc.o.d"
+  "CMakeFiles/culevo_text.dir/stemmer.cc.o"
+  "CMakeFiles/culevo_text.dir/stemmer.cc.o.d"
+  "CMakeFiles/culevo_text.dir/tokenizer.cc.o"
+  "CMakeFiles/culevo_text.dir/tokenizer.cc.o.d"
+  "libculevo_text.a"
+  "libculevo_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culevo_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/culevo_util.dir/csv.cc.o"
+  "CMakeFiles/culevo_util.dir/csv.cc.o.d"
+  "CMakeFiles/culevo_util.dir/distributions.cc.o"
+  "CMakeFiles/culevo_util.dir/distributions.cc.o.d"
+  "CMakeFiles/culevo_util.dir/flags.cc.o"
+  "CMakeFiles/culevo_util.dir/flags.cc.o.d"
+  "CMakeFiles/culevo_util.dir/json.cc.o"
+  "CMakeFiles/culevo_util.dir/json.cc.o.d"
+  "CMakeFiles/culevo_util.dir/logging.cc.o"
+  "CMakeFiles/culevo_util.dir/logging.cc.o.d"
+  "CMakeFiles/culevo_util.dir/rng.cc.o"
+  "CMakeFiles/culevo_util.dir/rng.cc.o.d"
+  "CMakeFiles/culevo_util.dir/status.cc.o"
+  "CMakeFiles/culevo_util.dir/status.cc.o.d"
+  "CMakeFiles/culevo_util.dir/strings.cc.o"
+  "CMakeFiles/culevo_util.dir/strings.cc.o.d"
+  "CMakeFiles/culevo_util.dir/table_printer.cc.o"
+  "CMakeFiles/culevo_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/culevo_util.dir/thread_pool.cc.o"
+  "CMakeFiles/culevo_util.dir/thread_pool.cc.o.d"
+  "libculevo_util.a"
+  "libculevo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/culevo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

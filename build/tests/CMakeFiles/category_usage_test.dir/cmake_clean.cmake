@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/category_usage_test.dir/category_usage_test.cc.o"
+  "CMakeFiles/category_usage_test.dir/category_usage_test.cc.o.d"
+  "category_usage_test"
+  "category_usage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/category_usage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

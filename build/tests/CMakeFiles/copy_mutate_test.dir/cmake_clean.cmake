@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copy_mutate_test.dir/copy_mutate_test.cc.o"
+  "CMakeFiles/copy_mutate_test.dir/copy_mutate_test.cc.o.d"
+  "copy_mutate_test"
+  "copy_mutate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copy_mutate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_context_test.dir/core_context_test.cc.o"
+  "CMakeFiles/core_context_test.dir/core_context_test.cc.o.d"
+  "core_context_test"
+  "core_context_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fitness_test.dir/core_fitness_test.cc.o"
+  "CMakeFiles/core_fitness_test.dir/core_fitness_test.cc.o.d"
+  "core_fitness_test"
+  "core_fitness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fitness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

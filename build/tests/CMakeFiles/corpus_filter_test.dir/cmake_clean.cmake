@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_filter_test.dir/corpus_filter_test.cc.o"
+  "CMakeFiles/corpus_filter_test.dir/corpus_filter_test.cc.o.d"
+  "corpus_filter_test"
+  "corpus_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

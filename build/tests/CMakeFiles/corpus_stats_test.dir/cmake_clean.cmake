@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corpus_stats_test.dir/corpus_stats_test.cc.o"
+  "CMakeFiles/corpus_stats_test.dir/corpus_stats_test.cc.o.d"
+  "corpus_stats_test"
+  "corpus_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corpus_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_test.dir/cuisine_test.cc.o"
+  "CMakeFiles/cuisine_test.dir/cuisine_test.cc.o.d"
+  "cuisine_test"
+  "cuisine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingestion_test.dir/ingestion_test.cc.o"
+  "CMakeFiles/ingestion_test.dir/ingestion_test.cc.o.d"
+  "ingestion_test"
+  "ingestion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingestion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

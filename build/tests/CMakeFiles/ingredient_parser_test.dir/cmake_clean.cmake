@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ingredient_parser_test.dir/ingredient_parser_test.cc.o"
+  "CMakeFiles/ingredient_parser_test.dir/ingredient_parser_test.cc.o.d"
+  "ingredient_parser_test"
+  "ingredient_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ingredient_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

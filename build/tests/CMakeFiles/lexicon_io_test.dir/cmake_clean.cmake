@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexicon_io_test.dir/lexicon_io_test.cc.o"
+  "CMakeFiles/lexicon_io_test.dir/lexicon_io_test.cc.o.d"
+  "lexicon_io_test"
+  "lexicon_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexicon_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/null_model_test.dir/null_model_test.cc.o"
+  "CMakeFiles/null_model_test.dir/null_model_test.cc.o.d"
+  "null_model_test"
+  "null_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/null_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

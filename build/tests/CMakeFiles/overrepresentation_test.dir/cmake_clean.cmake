@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overrepresentation_test.dir/overrepresentation_test.cc.o"
+  "CMakeFiles/overrepresentation_test.dir/overrepresentation_test.cc.o.d"
+  "overrepresentation_test"
+  "overrepresentation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overrepresentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_frequency_test.dir/rank_frequency_test.cc.o"
+  "CMakeFiles/rank_frequency_test.dir/rank_frequency_test.cc.o.d"
+  "rank_frequency_test"
+  "rank_frequency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_frequency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recipe_corpus_test.dir/recipe_corpus_test.cc.o"
+  "CMakeFiles/recipe_corpus_test.dir/recipe_corpus_test.cc.o.d"
+  "recipe_corpus_test"
+  "recipe_corpus_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recipe_corpus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recipe_generator_test.dir/recipe_generator_test.cc.o"
+  "CMakeFiles/recipe_generator_test.dir/recipe_generator_test.cc.o.d"
+  "recipe_generator_test"
+  "recipe_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recipe_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

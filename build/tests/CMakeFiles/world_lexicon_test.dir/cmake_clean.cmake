@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world_lexicon_test.dir/world_lexicon_test.cc.o"
+  "CMakeFiles/world_lexicon_test.dir/world_lexicon_test.cc.o.d"
+  "world_lexicon_test"
+  "world_lexicon_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world_lexicon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
