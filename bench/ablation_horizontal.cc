@@ -24,8 +24,11 @@ using namespace culevo;
 
 int Run(int argc, char** argv) {
   bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  bench::BenchReporter reporter("ablation_horizontal", options);
   const Lexicon& lexicon = WorldLexicon();
+  reporter.BeginPhase("world_synthesis");
   const RecipeCorpus corpus = bench::MakeWorld(options);
+  reporter.BeginPhase("migration_sweep");
 
   const std::vector<const char*> codes = {"ITA", "FRA", "GRC", "SP", "ME"};
   std::vector<CuisineContext> contexts;
@@ -51,6 +54,9 @@ int Run(int argc, char** argv) {
       PairwiseMae(empirical);
   const double empirical_pairwise = MeanOffDiagonal(empirical_matrix);
 
+  std::vector<double> migration_series;
+  std::vector<double> fit_series;
+  std::vector<double> pairwise_series;
   for (double migration : {0.0, 0.01, 0.05, 0.1, 0.25}) {
     HorizontalConfig config;
     config.migration_prob = migration;
@@ -70,6 +76,9 @@ int Run(int argc, char** argv) {
       evolved.push_back(curve);
     }
     const double pairwise = MeanOffDiagonal(PairwiseMae(evolved));
+    migration_series.push_back(migration);
+    fit_series.push_back(mae_total / static_cast<double>(contexts.size()));
+    pairwise_series.push_back(pairwise);
     table.AddRow({TablePrinter::Num(migration, 2),
                   TablePrinter::Num(mae_total /
                                         static_cast<double>(contexts.size()),
@@ -78,7 +87,13 @@ int Run(int argc, char** argv) {
                   TablePrinter::Num(empirical_pairwise, 4)});
   }
   table.Print(std::cout);
-  return 0;
+
+  reporter.AddSeries("migration_prob", std::move(migration_series));
+  reporter.AddSeries("mean_mae_vs_empirical", std::move(fit_series));
+  reporter.AddSeries("mean_pairwise_mae_evolved",
+                     std::move(pairwise_series));
+  reporter.AddResult("mean_pairwise_mae_empirical", empirical_pairwise);
+  return reporter.Finish();
 }
 
 }  // namespace

@@ -21,8 +21,11 @@ using namespace culevo;
 
 int Run(int argc, char** argv) {
   bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  bench::BenchReporter reporter("ablation_mixture", options);
   const Lexicon& lexicon = WorldLexicon();
+  reporter.BeginPhase("world_synthesis");
   const RecipeCorpus corpus = bench::MakeWorld(options);
+  reporter.BeginPhase("mixture_sweep");
 
   SimulationConfig config;
   config.replicas = options.replicas;
@@ -44,14 +47,20 @@ int Run(int argc, char** argv) {
     std::printf("\nCuisine %s:\n", code);
     TablePrinter table({"p(cross-category)", "MAE ingredient",
                         "MAE category"});
+    std::vector<double> mae_category_series;
     for (const SweepPoint& point : sweep.value()) {
+      mae_category_series.push_back(point.mae_category);
       table.AddRow({TablePrinter::Num(point.value, 2),
                     TablePrinter::Num(point.mae_ingredient, 4),
                     TablePrinter::Num(point.mae_category, 4)});
     }
     table.Print(std::cout);
+    reporter.AddSeries(std::string("mae_category_") + code,
+                       std::move(mae_category_series));
   }
-  return 0;
+  reporter.AddSeries("cross_category_probs",
+                     std::vector<double>(probs.begin(), probs.end()));
+  return reporter.Finish();
 }
 
 }  // namespace

@@ -20,8 +20,11 @@ using namespace culevo;
 
 int Run(int argc, char** argv) {
   bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  bench::BenchReporter reporter("ablation_mutations", options);
   const Lexicon& lexicon = WorldLexicon();
+  reporter.BeginPhase("world_synthesis");
   const RecipeCorpus corpus = bench::MakeWorld(options);
+  reporter.BeginPhase("mutation_count_sweep");
 
   SimulationConfig config;
   config.replicas = options.replicas;
@@ -48,6 +51,7 @@ int Run(int argc, char** argv) {
   }
   m_table.Print(std::cout);
 
+  reporter.BeginPhase("size_mutation_sweep");
   std::printf("\n== Ablation B2: variable recipe sizes, insert/delete rate "
               "(CM-M, M=6) ==\n\n");
   base.mutations = 6;
@@ -65,7 +69,22 @@ int Run(int argc, char** argv) {
                     TablePrinter::Num(point.mae_category, 4)});
   }
   r_table.Print(std::cout);
-  return 0;
+
+  const auto add_sweep_series = [&](const char* prefix,
+                                    const std::vector<SweepPoint>& points) {
+    std::vector<double> values;
+    std::vector<double> mae;
+    for (const SweepPoint& point : points) {
+      values.push_back(point.value);
+      mae.push_back(point.mae_ingredient);
+    }
+    reporter.AddSeries(std::string(prefix) + "_values", std::move(values));
+    reporter.AddSeries(std::string(prefix) + "_mae_ingredient",
+                       std::move(mae));
+  };
+  add_sweep_series("mutation_count", m_sweep.value());
+  add_sweep_series("size_mutation_rate", r_sweep.value());
+  return reporter.Finish();
 }
 
 }  // namespace

@@ -17,8 +17,11 @@ using namespace culevo;
 
 int Run(int argc, char** argv) {
   bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  bench::BenchReporter reporter("ablation_pool", options);
   const Lexicon& lexicon = WorldLexicon();
+  reporter.BeginPhase("world_synthesis");
   const RecipeCorpus corpus = bench::MakeWorld(options);
+  reporter.BeginPhase("pool_size_sweep");
 
   SimulationConfig config;
   config.replicas = options.replicas;
@@ -46,6 +49,7 @@ int Run(int argc, char** argv) {
   }
   m_table.Print(std::cout);
 
+  reporter.BeginPhase("grid_search");
   std::printf("\n== Ablation D2: full parameter grid search ==\n\n");
   FitGrid grid;
   Result<std::vector<FitResult>> fits =
@@ -67,7 +71,23 @@ int Run(int argc, char** argv) {
   std::printf(
       "\nPaper reference: m=20 with M=4 (CM-R) / 6 (CM-C, CM-M) "
       "\"consistently reproduce the empirical distributions\".\n");
-  return 0;
+
+  std::vector<double> pool_values;
+  std::vector<double> pool_mae;
+  for (const SweepPoint& point : sweep.value()) {
+    pool_values.push_back(point.value);
+    pool_mae.push_back(point.mae_ingredient);
+  }
+  reporter.AddSeries("initial_pool_values", std::move(pool_values));
+  reporter.AddSeries("initial_pool_mae_ingredient", std::move(pool_mae));
+  if (!fits->empty()) {
+    reporter.AddResult("grid_best_mae_ingredient",
+                       (*fits)[0].mae_ingredient);
+    reporter.AddResult("grid_best_initial_pool",
+                       (*fits)[0].params.initial_pool);
+    reporter.AddResult("grid_best_mutations", (*fits)[0].params.mutations);
+  }
+  return reporter.Finish();
 }
 
 }  // namespace

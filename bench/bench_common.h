@@ -7,18 +7,31 @@
 //   --scale <0..1>   fraction of Table-I recipe counts (default 0.25)
 //   --replicas <n>   simulation replicas (default 20; paper uses 100)
 //   --seed <n>       master seed (default 42)
-// and prints the table/figure series it reproduces to stdout.
+//   --json <path>    write a structured BENCH_<name>.json telemetry file
+// and prints the table/figure series it reproduces to stdout. With
+// --json, the binary also emits machine-readable telemetry (options,
+// per-phase wall times, the metrics-registry snapshot, scalar results,
+// and the reproduced series) — the schema is documented in EXPERIMENTS.md.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "analysis/rank_frequency.h"
 #include "corpus/recipe_corpus.h"
 #include "lexicon/world_lexicon.h"
+#include "obs/metrics.h"
+#include "obs/metrics_json.h"
 #include "synth/generator.h"
+#include "util/csv.h"
 #include "util/flags.h"
+#include "util/json.h"
 #include "util/stopwatch.h"
+#include "util/strings.h"
 
 namespace culevo::bench {
 
@@ -26,21 +39,49 @@ struct BenchOptions {
   double scale = 0.25;
   int replicas = 20;
   uint64_t seed = 42;
+  std::string json_path;  ///< empty = no JSON telemetry
   FlagParser flags;
 };
 
-/// Parses common flags; exits the process on malformed command lines.
+/// Overlays the parsed common flags onto `options` — the current field
+/// values act as the defaults — then validates the result. Split from
+/// ParseOptions so tests can exercise the validation without the
+/// process-exit behavior.
+inline Status ApplyParsedFlags(BenchOptions* options) {
+  options->scale = options->flags.GetDouble("scale", options->scale);
+  options->replicas =
+      static_cast<int>(options->flags.GetInt("replicas", options->replicas));
+  options->seed = static_cast<uint64_t>(options->flags.GetInt(
+      "seed", static_cast<long long>(options->seed)));
+  options->json_path = options->flags.GetString("json", options->json_path);
+  if (!(options->scale > 0.0 && options->scale <= 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("--scale must be in (0, 1], got %g", options->scale));
+  }
+  if (options->replicas <= 0) {
+    return Status::InvalidArgument(
+        StrFormat("--replicas must be positive, got %d", options->replicas));
+  }
+  // A value-less `--json` parses as the literal string "true" and would
+  // silently write the telemetry to a file named `true`.
+  if (options->json_path == "true") {
+    return Status::InvalidArgument("--json requires a file path");
+  }
+  return Status::Ok();
+}
+
+/// Parses common flags; exits the process on malformed command lines or
+/// out-of-range values.
 inline BenchOptions ParseOptions(int argc, char** argv) {
   BenchOptions options;
   if (Status s = options.flags.Parse(argc, argv); !s.ok()) {
     std::cerr << s << "\n";
-    std::exit(1);
+    std::exit(2);
   }
-  options.scale = options.flags.GetDouble("scale", options.scale);
-  options.replicas =
-      static_cast<int>(options.flags.GetInt("replicas", options.replicas));
-  options.seed =
-      static_cast<uint64_t>(options.flags.GetInt("seed", 42));
+  if (Status s = ApplyParsedFlags(&options); !s.ok()) {
+    std::cerr << s << "\n";
+    std::exit(2);
+  }
   return options;
 }
 
@@ -61,6 +102,143 @@ inline RecipeCorpus MakeWorld(const BenchOptions& options) {
               timer.ElapsedSeconds());
   return std::move(corpus).value();
 }
+
+/// Collects per-run telemetry — phase wall times, scalar results, and the
+/// reproduced series — and writes the BENCH_<name>.json document when
+/// --json was given. Typical use:
+///
+///   BenchReporter reporter("fig3_combinations", options);
+///   reporter.BeginPhase("world_synthesis");
+///   const RecipeCorpus corpus = MakeWorld(options);
+///   reporter.BeginPhase("analysis");
+///   ...
+///   reporter.AddCurve("fig3a_aggregate", aggregate_curve);
+///   reporter.AddResult("avg_pairwise_mae", mae);
+///   return reporter.Finish();
+class BenchReporter {
+ public:
+  BenchReporter(std::string name, const BenchOptions& options)
+      : name_(std::move(name)), options_(options) {}
+
+  /// Starts a named phase, closing the previous one. Phase wall times are
+  /// reported in order in the JSON document.
+  void BeginPhase(const std::string& phase) {
+    EndPhase();
+    current_phase_ = phase;
+    phase_watch_.Restart();
+  }
+
+  /// Ends the current phase (if any). Finish() calls this implicitly.
+  void EndPhase() {
+    if (current_phase_.empty()) return;
+    phases_.emplace_back(current_phase_, phase_watch_.ElapsedSeconds());
+    current_phase_.clear();
+  }
+
+  /// Records a scalar headline result (e.g. an MAE or a hit count).
+  void AddResult(const std::string& name, double value) {
+    results_.emplace_back(name, value);
+  }
+
+  /// Records a reproduced numeric series (figure curve, table column).
+  void AddSeries(const std::string& name, std::vector<double> values) {
+    series_.emplace_back(name, std::move(values));
+  }
+
+  /// Convenience: records the first `max_points` ranks of a curve.
+  void AddCurve(const std::string& name, const RankFrequency& curve,
+                size_t max_points = 200) {
+    const size_t n = std::min(max_points, curve.size());
+    std::vector<double> values(curve.values().begin(),
+                               curve.values().begin() +
+                                   static_cast<long>(n));
+    AddSeries(name, std::move(values));
+  }
+
+  /// Closes the last phase and, if --json was given, writes the telemetry
+  /// document (including a full metrics-registry snapshot). Returns the
+  /// process exit code: 0 on success, 1 if the JSON file could not be
+  /// written.
+  int Finish() {
+    EndPhase();
+    if (options_.json_path.empty()) return 0;
+
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("bench");
+    json.String(name_);
+    json.Key("schema_version");
+    json.Int(1);
+
+    json.Key("options");
+    json.BeginObject();
+    json.Key("scale");
+    json.Number(options_.scale);
+    json.Key("replicas");
+    json.Int(options_.replicas);
+    json.Key("seed");
+    json.Int(static_cast<long long>(options_.seed));
+    json.EndObject();
+
+    json.Key("total_seconds");
+    json.Number(total_.ElapsedSeconds());
+
+    json.Key("phases");
+    json.BeginArray();
+    for (const auto& [phase, seconds] : phases_) {
+      json.BeginObject();
+      json.Key("name");
+      json.String(phase);
+      json.Key("seconds");
+      json.Number(seconds);
+      json.EndObject();
+    }
+    json.EndArray();
+
+    json.Key("results");
+    json.BeginObject();
+    for (const auto& [name, value] : results_) {
+      json.Key(name);
+      json.Number(value);
+    }
+    json.EndObject();
+
+    json.Key("series");
+    json.BeginObject();
+    for (const auto& [name, values] : series_) {
+      json.Key(name);
+      json.BeginArray();
+      for (double v : values) json.Number(v);
+      json.EndArray();
+    }
+    json.EndObject();
+
+    json.Key("metrics");
+    obs::WriteMetricsSnapshot(obs::MetricsRegistry::Get().Snapshot(),
+                              &json);
+
+    json.EndObject();
+    if (Status s = WriteStringToFile(options_.json_path,
+                                     std::move(json).Take());
+        !s.ok()) {
+      std::cerr << "failed to write bench JSON: " << s << "\n";
+      return 1;
+    }
+    std::printf("\nBench telemetry written to %s\n",
+                options_.json_path.c_str());
+    return 0;
+  }
+
+ private:
+  std::string name_;
+  const BenchOptions& options_;
+  std::vector<std::pair<std::string, double>> phases_;
+  std::vector<std::pair<std::string, std::vector<double>>> series_;
+  std::vector<std::pair<std::string, double>> results_;
+  std::string current_phase_;
+  Stopwatch phase_watch_;
+  Stopwatch total_;
+};
 
 }  // namespace culevo::bench
 

@@ -42,7 +42,10 @@ void PrintHistogramRow(const std::vector<size_t>& histogram, size_t total) {
 
 int Run(int argc, char** argv) {
   bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  bench::BenchReporter reporter("fig1_recipe_sizes", options);
+  reporter.BeginPhase("world_synthesis");
   const RecipeCorpus corpus = bench::MakeWorld(options);
+  reporter.BeginPhase("statistics");
 
   std::printf("\n== Fig. 1: recipe size distributions ==\n\n");
   TablePrinter table({"Cuisine", "mean", "stddev", "min", "max",
@@ -75,7 +78,19 @@ int Run(int argc, char** argv) {
   std::printf("\nBounded in [2, 38]: %d/25 cuisines; Gaussian-like "
               "(TV-error < 0.15): %d/25\n",
               bounded, gaussian_like);
-  return 0;
+
+  std::vector<double> histogram_series;
+  for (size_t count : aggregate) {
+    histogram_series.push_back(static_cast<double>(count) /
+                               static_cast<double>(corpus.num_recipes()));
+  }
+  reporter.AddSeries("aggregate_size_histogram", std::move(histogram_series));
+  reporter.AddResult("aggregate_mean_size", fit.mean);
+  reporter.AddResult("aggregate_stddev", fit.stddev);
+  reporter.AddResult("aggregate_tv_error", fit.tv_error);
+  reporter.AddResult("cuisines_bounded", bounded);
+  reporter.AddResult("cuisines_gaussian_like", gaussian_like);
+  return reporter.Finish();
 }
 
 }  // namespace

@@ -20,8 +20,11 @@ using namespace culevo;
 
 int Run(int argc, char** argv) {
   bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  bench::BenchReporter reporter("fig2_category_usage", options);
   const Lexicon& lexicon = WorldLexicon();
+  reporter.BeginPhase("world_synthesis");
   const RecipeCorpus corpus = bench::MakeWorld(options);
+  reporter.BeginPhase("category_usage");
 
   const auto matrix = CategoryUsageMatrix(corpus, lexicon);
 
@@ -84,7 +87,25 @@ int Run(int argc, char** argv) {
               usage("IRL", Category::kDairy), usage("JPN", Category::kDairy),
               usage("SEA", Category::kDairy), usage("THA", Category::kDairy),
               usage("KOR", Category::kDairy));
-  return 0;
+
+  // One series per category: the 25 per-cuisine means behind the boxplots.
+  for (int k = 0; k < kNumCategories; ++k) {
+    std::vector<double> means;
+    for (int c = 0; c < kNumCuisines; ++c) {
+      means.push_back(
+          matrix[static_cast<size_t>(c)][static_cast<size_t>(k)]);
+    }
+    reporter.AddSeries(std::string("category_usage_") +
+                           std::string(CategoryName(CategoryFromIndex(k))),
+                       std::move(means));
+  }
+  reporter.AddResult("spice_contrast_insc_minus_jpn",
+                     usage("INSC", Category::kSpice) -
+                         usage("JPN", Category::kSpice));
+  reporter.AddResult("dairy_contrast_fra_minus_jpn",
+                     usage("FRA", Category::kDairy) -
+                         usage("JPN", Category::kDairy));
+  return reporter.Finish();
 }
 
 }  // namespace

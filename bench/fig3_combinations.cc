@@ -82,8 +82,11 @@ void PrintCurveFamily(const char* title,
 
 int Run(int argc, char** argv) {
   bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  bench::BenchReporter reporter("fig3_combinations", options);
   const Lexicon& lexicon = WorldLexicon();
+  reporter.BeginPhase("world_synthesis");
   const RecipeCorpus corpus = bench::MakeWorld(options);
+  reporter.BeginPhase("mining");
 
   std::vector<RankFrequency> ingredient_curves;
   std::vector<RankFrequency> category_curves;
@@ -94,6 +97,7 @@ int Run(int argc, char** argv) {
         CategoryCombinationCurve(corpus, cuisine, lexicon));
   }
 
+  reporter.BeginPhase("homogeneity_analysis");
   PrintCurveFamily("Fig. 3(a): frequent ingredient combinations",
                    ingredient_curves, corpus);
   PrintCurveFamily("Fig. 3(b): frequent category combinations",
@@ -122,7 +126,16 @@ int Run(int argc, char** argv) {
 
   std::printf("\nPaper reference: average pairwise MAE 0.035 (ingredient) "
               "and 0.052 (category) at full scale.\n");
-  return 0;
+
+  reporter.AddCurve("fig3a_aggregate_ingredient",
+                    AverageRankFrequencies(ingredient_curves));
+  reporter.AddCurve("fig3b_aggregate_category",
+                    AverageRankFrequencies(category_curves));
+  reporter.AddResult("avg_pairwise_mae_ingredient",
+                     MeanOffDiagonal(PairwiseMae(ingredient_curves)));
+  reporter.AddResult("avg_pairwise_mae_category",
+                     MeanOffDiagonal(PairwiseMae(category_curves)));
+  return reporter.Finish();
 }
 
 }  // namespace

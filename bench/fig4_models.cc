@@ -11,8 +11,10 @@
 // varies across cuisines; category-combination distributions are much less
 // discriminative than ingredient-combination ones.
 
-// Pass --json <path> to also write the full per-cuisine, per-model results
-// (MAE values and aggregated curves) as machine-readable JSON.
+// Pass --details-json <path> to also write the full per-cuisine,
+// per-model results (MAE values and aggregated curves) as machine-readable
+// JSON. (--json emits the standard BENCH telemetry document shared by all
+// bench binaries; see bench_common.h.)
 
 #include <cstdio>
 #include <iostream>
@@ -32,8 +34,11 @@ using namespace culevo;
 
 int Run(int argc, char** argv) {
   bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  bench::BenchReporter reporter("fig4_models", options);
   const Lexicon& lexicon = WorldLexicon();
+  reporter.BeginPhase("world_synthesis");
   const RecipeCorpus corpus = bench::MakeWorld(options);
+  reporter.BeginPhase("simulation");
 
   const auto cm_r = MakeCmR(&lexicon);
   const auto cm_c = MakeCmC(&lexicon);
@@ -69,6 +74,9 @@ int Run(int argc, char** argv) {
   double nm_half = 0.0;
   int shape_cuisines = 0;
 
+  // MAE of each model per cuisine, in cuisine order (reporter series).
+  std::vector<std::vector<double>> model_mae(4);
+
   JsonWriter json;
   json.BeginObject();
   json.Key("scale");
@@ -96,6 +104,9 @@ int Run(int argc, char** argv) {
     sum_best_cm += best_cm;
     sum_nm += nm_score.mae_ingredient;
     ++winner_counts[evaluation.scores[best].model];
+    for (size_t m = 0; m < 4 && m < evaluation.scores.size(); ++m) {
+      model_mae[m].push_back(evaluation.scores[m].mae_ingredient);
+    }
 
     const auto head = [](const RankFrequency& rf) {
       return rf.empty() ? 0.0 : rf.at_rank(1);
@@ -189,16 +200,28 @@ int Run(int argc, char** argv) {
 
   json.EndArray();
   json.EndObject();
-  const std::string json_path = options.flags.GetString("json", "");
-  if (!json_path.empty()) {
-    Status status = WriteStringToFile(json_path, std::move(json).Take());
+  const std::string details_path =
+      options.flags.GetString("details-json", "");
+  if (!details_path.empty()) {
+    Status status = WriteStringToFile(details_path, std::move(json).Take());
     if (!status.ok()) {
       std::cerr << status << "\n";
       return 1;
     }
-    std::printf("\nJSON results written to %s\n", json_path.c_str());
+    std::printf("\nDetailed JSON results written to %s\n",
+                details_path.c_str());
   }
-  return 0;
+
+  const char* model_names[4] = {"cm_r", "cm_c", "cm_m", "nm"};
+  for (size_t m = 0; m < 4; ++m) {
+    reporter.AddSeries(std::string("mae_ingredient_") + model_names[m],
+                       std::move(model_mae[m]));
+  }
+  reporter.AddResult("mean_mae_best_copy_mutate", sum_best_cm / kNumCuisines);
+  reporter.AddResult("mean_mae_null_model", sum_nm / kNumCuisines);
+  reporter.AddResult("mean_mae_best_cm_category", cat_cm / kNumCuisines);
+  reporter.AddResult("mean_mae_nm_category", cat_nm / kNumCuisines);
+  return reporter.Finish();
 }
 
 }  // namespace

@@ -23,8 +23,11 @@ using namespace culevo;
 
 int Run(int argc, char** argv) {
   bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  bench::BenchReporter reporter("table1_statistics", options);
   const Lexicon& lexicon = WorldLexicon();
+  reporter.BeginPhase("world_synthesis");
   const RecipeCorpus corpus = bench::MakeWorld(options);
+  reporter.BeginPhase("statistics");
 
   std::printf("\n== Table I: cuisine statistics and overrepresented "
               "ingredients ==\n\n");
@@ -83,7 +86,21 @@ int Run(int argc, char** argv) {
   std::printf("Top-5 overrepresentation recovery: %d/%d Table-I entries "
               "recovered in the computed top-5\n",
               top5_hits, top5_total);
-  return 0;
+
+  std::vector<double> recipes_series;
+  std::vector<double> ingredients_series;
+  for (const CuisineStats& s : stats) {
+    recipes_series.push_back(static_cast<double>(s.num_recipes));
+    ingredients_series.push_back(
+        static_cast<double>(s.num_unique_ingredients));
+  }
+  reporter.AddSeries("recipes_per_cuisine", std::move(recipes_series));
+  reporter.AddSeries("unique_ingredients_per_cuisine",
+                     std::move(ingredients_series));
+  reporter.AddResult("total_recipes", static_cast<double>(total_recipes));
+  reporter.AddResult("top5_hits", top5_hits);
+  reporter.AddResult("top5_total", top5_total);
+  return reporter.Finish();
 }
 
 }  // namespace

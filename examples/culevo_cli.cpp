@@ -9,8 +9,13 @@
 //   culevo_cli export-lexicon <out.tsv>    write the 721-entity lexicon
 //
 // Common flags: --scale, --replicas, --seed (as in the bench harness).
+// Pass --metrics to dump the process metrics registry (counters, gauges,
+// latency histograms) as JSON on exit.
 
 #include <iostream>
+
+#include "obs/metrics.h"
+#include "obs/metrics_json.h"
 
 #include "analysis/overrepresentation.h"
 #include "core/copy_mutate.h"
@@ -35,7 +40,9 @@ using namespace culevo;
 int Usage() {
   std::cerr
       << "usage: culevo_cli <stats|evaluate|generate|ingest|export-corpus|"
-         "export-lexicon> [flags]\n";
+         "export-lexicon> [flags]\n"
+         "common flags: --scale <0..1> --replicas <n> --seed <n> "
+         "--metrics (dump metrics registry JSON on exit)\n";
   return 2;
 }
 
@@ -226,14 +233,7 @@ int RunExportLexicon(const FlagParser& flags) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  FlagParser flags;
-  if (Status s = flags.Parse(argc, argv); !s.ok()) {
-    std::cerr << s << "\n";
-    return 2;
-  }
+int Dispatch(const FlagParser& flags) {
   if (flags.positional().empty()) return Usage();
   const std::string& command = flags.positional()[0];
   if (command == "stats") return RunStats(flags);
@@ -243,4 +243,21 @@ int main(int argc, char** argv) {
   if (command == "export-corpus") return RunExportCorpus(flags);
   if (command == "export-lexicon") return RunExportLexicon(flags);
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s << "\n";
+    return 2;
+  }
+  const int rc = Dispatch(flags);
+  if (flags.GetBool("metrics", false)) {
+    std::cout << obs::MetricsSnapshotToJson(
+                     obs::MetricsRegistry::Get().Snapshot())
+              << "\n";
+  }
+  return rc;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 #include "util/hash.h"
 
 namespace culevo {
@@ -63,6 +65,17 @@ std::vector<std::vector<Item>> GenerateCandidates(
 
 std::vector<Itemset> MineApriori(const TransactionSet& transactions,
                                  size_t min_support_count) {
+  static obs::Counter* calls =
+      obs::MetricsRegistry::Get().counter("mine.apriori.calls");
+  static obs::Counter* itemsets =
+      obs::MetricsRegistry::Get().counter("mine.apriori.itemsets");
+  static obs::Counter* levels =
+      obs::MetricsRegistry::Get().counter("mine.apriori.levels");
+  static obs::Histogram* wall_ms =
+      obs::MetricsRegistry::Get().histogram("mine.apriori.ms");
+  obs::ScopedTimer timer(wall_ms);
+  calls->Increment();
+
   if (min_support_count == 0) min_support_count = 1;
   std::vector<Itemset> result;
 
@@ -80,11 +93,14 @@ std::vector<Itemset> MineApriori(const TransactionSet& transactions,
     }
   }
 
+  if (!frequent.empty()) levels->Increment();  // level 1 produced output
+
   // Levels k >= 2.
   while (!frequent.empty()) {
     const std::vector<std::vector<Item>> candidates =
         GenerateCandidates(frequent);
     if (candidates.empty()) break;
+    levels->Increment();
     std::vector<size_t> counts(candidates.size(), 0);
     for (const std::vector<Item>& t : transactions.transactions()) {
       for (size_t c = 0; c < candidates.size(); ++c) {
@@ -104,6 +120,7 @@ std::vector<Itemset> MineApriori(const TransactionSet& transactions,
   }
 
   std::sort(result.begin(), result.end(), ItemsetLess);
+  itemsets->Increment(static_cast<int64_t>(result.size()));
   return result;
 }
 

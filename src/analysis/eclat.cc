@@ -4,6 +4,9 @@
 #include <bit>
 #include <cstdint>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+
 namespace culevo {
 namespace {
 
@@ -68,8 +71,20 @@ void Mine(const std::vector<Node>& siblings, std::vector<Item>* prefix,
 
 std::vector<Itemset> MineEclat(const TransactionSet& transactions,
                                size_t min_support_count) {
+  static obs::Counter* calls =
+      obs::MetricsRegistry::Get().counter("mine.eclat.calls");
+  static obs::Counter* itemsets =
+      obs::MetricsRegistry::Get().counter("mine.eclat.itemsets");
+  static obs::Counter* txns =
+      obs::MetricsRegistry::Get().counter("mine.eclat.transactions");
+  static obs::Histogram* wall_ms =
+      obs::MetricsRegistry::Get().histogram("mine.eclat.ms");
+  obs::ScopedTimer timer(wall_ms);
+  calls->Increment();
+
   if (min_support_count == 0) min_support_count = 1;
   const size_t n = transactions.size();
+  txns->Increment(static_cast<int64_t>(n));
 
   // Vertical representation: one tid-bitset per item.
   std::vector<size_t> counts(transactions.item_universe(), 0);
@@ -96,6 +111,7 @@ std::vector<Itemset> MineEclat(const TransactionSet& transactions,
   std::vector<Item> prefix;
   Mine(roots, &prefix, n, min_support_count, &result);
   std::sort(result.begin(), result.end(), ItemsetLess);
+  itemsets->Increment(static_cast<int64_t>(result.size()));
   return result;
 }
 

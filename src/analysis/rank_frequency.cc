@@ -20,8 +20,12 @@ RankFrequency RankFrequency::FromCounts(const std::vector<size_t>& counts,
 
 RankFrequency RankFrequency::FromFrequencies(std::vector<double> frequencies) {
   std::sort(frequencies.begin(), frequencies.end(), std::greater<double>());
+  return FromSorted(std::move(frequencies));
+}
+
+RankFrequency RankFrequency::FromSorted(std::vector<double> values) {
   RankFrequency rf;
-  rf.values_ = std::move(frequencies);
+  rf.values_ = std::move(values);
   return rf;
 }
 
@@ -38,9 +42,10 @@ RankFrequency AverageRankFrequencies(
   if (!curves.empty()) {
     for (double& v : sum) v /= static_cast<double>(curves.size());
   }
-  // Averaging of descending curves stays descending; no resort needed,
-  // but normalize representation through the factory anyway.
-  return RankFrequency::FromFrequencies(std::move(sum));
+  // Position-wise semantics: rank r of the average corresponds to rank r
+  // of the inputs, so the result must NOT go through the re-sorting
+  // FromFrequencies factory (see the header contract).
+  return RankFrequency::FromSorted(std::move(sum));
 }
 
 }  // namespace culevo

@@ -21,6 +21,12 @@ class RankFrequency {
   /// Builds from already-normalized frequencies (sorts them descending).
   static RankFrequency FromFrequencies(std::vector<double> frequencies);
 
+  /// Builds from values that are already in rank order, WITHOUT re-sorting.
+  /// Intended for derived curves (e.g. position-wise averages) whose
+  /// position semantics must be preserved even if the values are not
+  /// strictly descending.
+  static RankFrequency FromSorted(std::vector<double> values);
+
   size_t size() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
 
@@ -35,8 +41,20 @@ class RankFrequency {
 
 /// Averages several rank-frequency curves position-wise, producing the
 /// aggregate curves shown in the model evaluation (each replica of a
-/// simulation yields one curve). Ranks beyond a shorter curve's length
-/// contribute zero; the result has the maximum length.
+/// simulation yields one curve).
+///
+/// Aggregation semantics: the result has the length of the longest input
+/// curve, and shorter curves are treated as zero beyond their last rank
+/// (a replica that mined fewer frequent combinations contributes
+/// frequency 0 at the missing ranks, which is what "this combination rank
+/// does not exist in that replica" means). The average at rank r is
+/// therefore sum_k curve_k(r) / num_curves, dividing by the total number
+/// of curves, not the number that reach rank r.
+///
+/// The output keeps strict position-wise order — rank r of the result
+/// corresponds to rank r of the inputs. It is never re-sorted, so even if
+/// zero-padding ever produced a non-monotone averaged curve, positions
+/// would not be silently reshuffled.
 RankFrequency AverageRankFrequencies(const std::vector<RankFrequency>& curves);
 
 }  // namespace culevo

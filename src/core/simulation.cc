@@ -3,6 +3,8 @@
 #include <atomic>
 #include <mutex>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 #include "util/rng.h"
 
 namespace culevo {
@@ -41,6 +43,13 @@ Result<SimulationResult> RunSimulation(const EvolutionModel& model,
     return Status::InvalidArgument("replicas must be positive");
   }
 
+  static obs::Counter* replicas_run =
+      obs::MetricsRegistry::Get().counter("sim.replicas_run");
+  static obs::Histogram* generate_ms =
+      obs::MetricsRegistry::Get().histogram("sim.replica.generate_ms");
+  static obs::Histogram* mine_ms =
+      obs::MetricsRegistry::Get().histogram("sim.replica.mine_ms");
+
   const size_t n = static_cast<size_t>(config.replicas);
   std::vector<RankFrequency> ingredient_curves(n);
   std::vector<RankFrequency> category_curves(n);
@@ -48,16 +57,23 @@ Result<SimulationResult> RunSimulation(const EvolutionModel& model,
 
   const auto run_replica = [&](size_t k) {
     GeneratedRecipes recipes;
-    Status status =
-        model.Generate(context, DeriveSeed(config.seed, k), &recipes);
+    Status status;
+    {
+      obs::ScopedTimer timer(generate_ms);
+      status = model.Generate(context, DeriveSeed(config.seed, k), &recipes);
+    }
     if (!status.ok()) {
       statuses[k] = std::move(status);
       return;
     }
-    ingredient_curves[k] =
-        CombinationCurve(RecipesToTransactions(recipes), config.mining);
-    category_curves[k] = CombinationCurve(
-        RecipesToCategoryTransactions(recipes, lexicon), config.mining);
+    {
+      obs::ScopedTimer timer(mine_ms);
+      ingredient_curves[k] =
+          CombinationCurve(RecipesToTransactions(recipes), config.mining);
+      category_curves[k] = CombinationCurve(
+          RecipesToCategoryTransactions(recipes, lexicon), config.mining);
+    }
+    replicas_run->Increment();
   };
 
   if (pool != nullptr) {

@@ -1,0 +1,226 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+namespace culevo::obs {
+namespace internal {
+
+size_t ShardIndex() {
+  // Threads get consecutive shard slots in creation order; after
+  // kMetricShards threads the slots wrap and are shared (still correct,
+  // just more contention than the common case).
+  static std::atomic<size_t> next_slot{0};
+  thread_local const size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return slot;
+}
+
+namespace {
+
+/// Relaxed CAS add for pre-C++20-style atomic<double> accumulation.
+void AtomicAdd(std::atomic<double>* target, double delta) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(expected, expected + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* target, double value) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (value < expected &&
+         !target->compare_exchange_weak(expected, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* target, double value) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (value > expected &&
+         !target->compare_exchange_weak(expected, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+}  // namespace internal
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (const internal::ShardCell& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (internal::ShardCell& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Gauge::Set(double value) {
+  // Collapse: shard 0 carries the value, the rest become zero deltas.
+  shards_[0].value.store(value, std::memory_order_relaxed);
+  for (size_t i = 1; i < kMetricShards; ++i) {
+    shards_[i].value.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+void Gauge::Add(double delta) {
+  internal::AtomicAdd(&shards_[internal::ShardIndex()].value, delta);
+}
+
+double Gauge::Value() const {
+  double total = 0.0;
+  for (const Cell& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double HistogramStats::Quantile(double q) const {
+  if (count <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const int64_t target =
+      static_cast<int64_t>(std::ceil(q * static_cast<double>(count)));
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= target) {
+      // Clamp the estimate to the observed range so tiny histograms do not
+      // report a bucket bound far above the true maximum.
+      return std::min(Histogram::UpperBoundMs(i), max);
+    }
+  }
+  return max;
+}
+
+Histogram::Histogram() {
+  for (Shard& shard : shards_) {
+    shard.min.store(std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    shard.max.store(-std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    for (std::atomic<int64_t>& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+double Histogram::UpperBoundMs(size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i) - 10);
+}
+
+size_t Histogram::BucketFor(double value_ms) {
+  if (!(value_ms > 0.0)) return 0;  // non-positive and NaN samples
+  const int index = 10 + static_cast<int>(std::ceil(std::log2(value_ms)));
+  if (index < 0) return 0;
+  if (index >= static_cast<int>(kHistogramBuckets)) {
+    return kHistogramBuckets - 1;
+  }
+  return static_cast<size_t>(index);
+}
+
+void Histogram::Record(double value_ms) {
+  Shard& shard = shards_[internal::ShardIndex()];
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicAdd(&shard.sum, value_ms);
+  internal::AtomicMin(&shard.min, value_ms);
+  internal::AtomicMax(&shard.max, value_ms);
+  shard.buckets[BucketFor(value_ms)].fetch_add(1,
+                                               std::memory_order_relaxed);
+}
+
+HistogramStats Histogram::Snapshot() const {
+  HistogramStats stats;
+  stats.buckets.assign(kHistogramBuckets, 0);
+  bool first = true;
+  for (const Shard& shard : shards_) {
+    const int64_t count = shard.count.load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    stats.count += count;
+    stats.sum += shard.sum.load(std::memory_order_relaxed);
+    const double shard_min = shard.min.load(std::memory_order_relaxed);
+    const double shard_max = shard.max.load(std::memory_order_relaxed);
+    if (first) {
+      stats.min = shard_min;
+      stats.max = shard_max;
+      first = false;
+    } else {
+      stats.min = std::min(stats.min, shard_min);
+      stats.max = std::max(stats.max, shard_max);
+    }
+    for (size_t i = 0; i < kHistogramBuckets; ++i) {
+      stats.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return stats;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.min.store(std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    shard.max.store(-std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    for (std::atomic<int64_t>& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Get() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms[name] = histogram->Snapshot();
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace culevo::obs

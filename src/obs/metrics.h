@@ -1,0 +1,162 @@
+#ifndef CULEVO_OBS_METRICS_H_
+#define CULEVO_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace culevo::obs {
+
+/// Number of independent shards per metric. Each thread hashes to one
+/// shard, so concurrent writers on different threads usually touch
+/// different cache lines; readers merge all shards on snapshot.
+inline constexpr size_t kMetricShards = 16;
+
+/// Exponential histogram buckets. Bucket i holds samples in
+/// (UpperBound(i-1), UpperBound(i)] with UpperBound(i) = 2^(i-10) ms, so
+/// the range spans ~1us .. ~4.6 minutes with the last bucket unbounded.
+inline constexpr size_t kHistogramBuckets = 28;
+
+namespace internal {
+
+/// Cache-line-sized atomic cell so shards never share a line.
+struct alignas(64) ShardCell {
+  std::atomic<int64_t> value{0};
+};
+
+/// Stable shard index for the calling thread.
+size_t ShardIndex();
+
+}  // namespace internal
+
+/// Monotonically increasing counter. Increment is lock-free and touches
+/// only the calling thread's shard.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    shards_[internal::ShardIndex()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards. Racy reads see a value that was true at some
+  /// recent instant; exact once writers quiesce.
+  int64_t Value() const;
+
+  /// Zeroes all shards (testing / run isolation).
+  void Reset();
+
+ private:
+  internal::ShardCell shards_[kMetricShards];
+};
+
+/// Instantaneous value supporting Set and relative Add. Add goes through
+/// the per-thread shard (lock-free); Set collapses all shards.
+class Gauge {
+ public:
+  void Set(double value);
+  void Add(double delta);
+  double Value() const;
+  void Reset() { Set(0.0); }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<double> value{0.0};
+  };
+  Cell shards_[kMetricShards];
+};
+
+/// Merged view of one histogram.
+struct HistogramStats {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Per-bucket sample counts (size kHistogramBuckets).
+  std::vector<int64_t> buckets;
+
+  double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  /// Quantile estimate (q in [0, 1]): the upper bound of the bucket that
+  /// contains the q-th sample. Resolution is one power of two.
+  double Quantile(double q) const;
+};
+
+/// Latency histogram over milliseconds with exponential buckets. Record is
+/// lock-free on the calling thread's shard; min/max maintained via CAS.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(double value_ms);
+  HistogramStats Snapshot() const;
+  void Reset();
+
+  /// Inclusive upper bound of bucket `i` in milliseconds.
+  static double UpperBoundMs(size_t i);
+  /// Bucket index for a sample.
+  static size_t BucketFor(double value_ms);
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<int64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};  ///< +inf at rest; valid when count > 0
+    std::atomic<double> max{0.0};  ///< -inf at rest; valid when count > 0
+    std::atomic<int64_t> buckets[kHistogramBuckets];
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Point-in-time merged copy of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
+
+  size_t size() const {
+    return counters.size() + gauges.size() + histograms.size();
+  }
+};
+
+/// Process-wide registry of named metrics.
+///
+/// Lookup takes a mutex; hot paths should resolve the handle once and
+/// cache it (function-local static), after which updates are lock-free:
+///
+///   static Counter* mined = MetricsRegistry::Get().counter("mine.itemsets");
+///   mined->Increment(result.size());
+///
+/// Returned pointers are stable for the process lifetime — Reset() zeroes
+/// values in place and never invalidates handles.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Get();
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric (handles stay valid). Intended for tests and for
+  /// isolating phases in long-lived processes.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace culevo::obs
+
+#endif  // CULEVO_OBS_METRICS_H_

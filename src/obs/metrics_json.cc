@@ -1,0 +1,61 @@
+#include "obs/metrics_json.h"
+
+#include <utility>
+
+namespace culevo::obs {
+
+void WriteMetricsSnapshot(const MetricsSnapshot& snapshot,
+                          JsonWriter* writer) {
+  writer->BeginObject();
+
+  writer->Key("counters");
+  writer->BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    writer->Key(name);
+    writer->Int(value);
+  }
+  writer->EndObject();
+
+  writer->Key("gauges");
+  writer->BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    writer->Key(name);
+    writer->Number(value);
+  }
+  writer->EndObject();
+
+  writer->Key("histograms");
+  writer->BeginObject();
+  for (const auto& [name, stats] : snapshot.histograms) {
+    writer->Key(name);
+    writer->BeginObject();
+    writer->Key("count");
+    writer->Int(stats.count);
+    writer->Key("sum_ms");
+    writer->Number(stats.sum);
+    writer->Key("min_ms");
+    writer->Number(stats.count > 0 ? stats.min : 0.0);
+    writer->Key("max_ms");
+    writer->Number(stats.count > 0 ? stats.max : 0.0);
+    writer->Key("mean_ms");
+    writer->Number(stats.mean());
+    writer->Key("p50_ms");
+    writer->Number(stats.Quantile(0.5));
+    writer->Key("p90_ms");
+    writer->Number(stats.Quantile(0.9));
+    writer->Key("p99_ms");
+    writer->Number(stats.Quantile(0.99));
+    writer->EndObject();
+  }
+  writer->EndObject();
+
+  writer->EndObject();
+}
+
+std::string MetricsSnapshotToJson(const MetricsSnapshot& snapshot) {
+  JsonWriter writer;
+  WriteMetricsSnapshot(snapshot, &writer);
+  return std::move(writer).Take();
+}
+
+}  // namespace culevo::obs

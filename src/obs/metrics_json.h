@@ -1,0 +1,29 @@
+#ifndef CULEVO_OBS_METRICS_JSON_H_
+#define CULEVO_OBS_METRICS_JSON_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/json.h"
+
+namespace culevo::obs {
+
+/// Writes `snapshot` as one JSON object value on `writer`:
+///
+///   {"counters": {name: int, ...},
+///    "gauges":   {name: double, ...},
+///    "histograms": {name: {"count": n, "sum_ms": s, "min_ms": m,
+///                          "max_ms": M, "mean_ms": u,
+///                          "p50_ms": a, "p90_ms": b, "p99_ms": c}, ...}}
+///
+/// Usable both standalone and embedded as a value inside a larger
+/// document (e.g. the bench harness BENCH_*.json files).
+void WriteMetricsSnapshot(const MetricsSnapshot& snapshot,
+                          JsonWriter* writer);
+
+/// Standalone serialization of `snapshot` as a JSON document.
+std::string MetricsSnapshotToJson(const MetricsSnapshot& snapshot);
+
+}  // namespace culevo::obs
+
+#endif  // CULEVO_OBS_METRICS_JSON_H_

@@ -1,0 +1,39 @@
+#ifndef CULEVO_OBS_SCOPED_TIMER_H_
+#define CULEVO_OBS_SCOPED_TIMER_H_
+
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
+namespace culevo::obs {
+
+/// RAII timer: records the elapsed wall time (milliseconds) of its scope
+/// into a latency histogram on destruction.
+///
+///   static Histogram* mine_ms =
+///       MetricsRegistry::Get().histogram("mine.eclat.ms");
+///   ScopedTimer timer(mine_ms);
+///
+/// A null histogram disables recording, so instrumentation can be made
+/// conditional without branching at the call site.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Record(watch_.ElapsedMillis());
+  }
+
+  /// Elapsed time so far, without stopping the timer.
+  double ElapsedMillis() const { return watch_.ElapsedMillis(); }
+
+ private:
+  Histogram* histogram_;
+  Stopwatch watch_;
+};
+
+}  // namespace culevo::obs
+
+#endif  // CULEVO_OBS_SCOPED_TIMER_H_

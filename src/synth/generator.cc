@@ -5,6 +5,8 @@
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 #include "util/check.h"
 #include "util/distributions.h"
 #include "util/rng.h"
@@ -12,6 +14,28 @@
 
 namespace culevo {
 namespace {
+
+/// Registry handles for the corpus-synthesis hot path, resolved once.
+struct SynthMetrics {
+  obs::Counter* recipes_generated;
+  obs::Counter* recipes_fresh;
+  obs::Counter* recipes_copied;
+  obs::Counter* mutations_applied;
+  obs::Histogram* cuisine_ms;
+  obs::Histogram* world_ms;
+
+  static const SynthMetrics& Get() {
+    static const SynthMetrics metrics = {
+        obs::MetricsRegistry::Get().counter("synth.recipes_generated"),
+        obs::MetricsRegistry::Get().counter("synth.recipes_fresh"),
+        obs::MetricsRegistry::Get().counter("synth.recipes_copied"),
+        obs::MetricsRegistry::Get().counter("synth.mutations_applied"),
+        obs::MetricsRegistry::Get().histogram("synth.cuisine_ms"),
+        obs::MetricsRegistry::Get().histogram("synth.world_ms"),
+    };
+    return metrics;
+  }
+};
 
 /// Per-cuisine sampling machinery derived from a CuisineProfile.
 class ProfileSamplers {
@@ -118,6 +142,9 @@ Status SynthesizeCuisine(const Lexicon& lexicon,
         profile.vocabulary.size(), profile.max_recipe_size));
   }
 
+  const SynthMetrics& metrics = SynthMetrics::Get();
+  obs::ScopedTimer cuisine_timer(metrics.cuisine_ms);
+
   Rng rng(DeriveSeed(config.seed, 0xA000 + profile.cuisine));
   const ProfileSamplers samplers(lexicon, profile);
 
@@ -144,13 +171,16 @@ Status SynthesizeCuisine(const Lexicon& lexicon,
   for (int i = 0; i < seeds; ++i) {
     pool.push_back(samplers.SampleFreshRecipe(&rng, sample_size()));
   }
+  metrics.recipes_fresh->Increment(seeds);
 
   while (static_cast<int>(pool.size()) < count) {
     if (rng.NextBool(effective_novelty_rate)) {
       pool.push_back(samplers.SampleFreshRecipe(&rng, sample_size()));
+      metrics.recipes_fresh->Increment();
       continue;
     }
     // Copy a mother recipe and mutate it.
+    metrics.recipes_copied->Increment();
     std::vector<IngredientId> recipe = pool[rng.NextBounded(pool.size())];
     for (size_t i = 0; i < recipe.size(); ++i) {
       if (!rng.NextBool(effective_mutation_rate)) continue;
@@ -160,7 +190,10 @@ Status SynthesizeCuisine(const Lexicon& lexicon,
               ? samplers.SampleGlobal(&rng)
               : samplers.SampleInCategory(&rng,
                                           lexicon.category(recipe[i]));
-      if (!Contains(recipe, replacement)) recipe[i] = replacement;
+      if (!Contains(recipe, replacement)) {
+        recipe[i] = replacement;
+        metrics.mutations_applied->Increment();
+      }
     }
     // Size resampling: every copy draws a fresh truncated-normal target
     // size and the recipe is trimmed / extended to it. Content is
@@ -195,6 +228,7 @@ Status SynthesizeCuisine(const Lexicon& lexicon,
     pool.push_back(std::move(recipe));
   }
 
+  metrics.recipes_generated->Increment(static_cast<int64_t>(pool.size()));
   for (std::vector<IngredientId>& recipe : pool) {
     CULEVO_RETURN_IF_ERROR(builder->Add(profile.cuisine, std::move(recipe)));
   }
@@ -206,6 +240,7 @@ Result<RecipeCorpus> SynthesizeWorldCorpus(const Lexicon& lexicon,
   if (config.scale <= 0.0 || config.scale > 1.0) {
     return Status::InvalidArgument("scale must be in (0, 1]");
   }
+  obs::ScopedTimer world_timer(SynthMetrics::Get().world_ms);
   RecipeCorpus::Builder builder;
   for (int c = 0; c < kNumCuisines; ++c) {
     const CuisineId cuisine = static_cast<CuisineId>(c);

@@ -1,8 +1,33 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
+
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "util/stopwatch.h"
 
 namespace culevo {
+namespace {
+
+struct PoolMetrics {
+  obs::Counter* tasks_executed;
+  obs::Gauge* queue_depth;
+  obs::Histogram* worker_idle_ms;
+  obs::Histogram* task_ms;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics = {
+        obs::MetricsRegistry::Get().counter("threadpool.tasks_executed"),
+        obs::MetricsRegistry::Get().gauge("threadpool.queue_depth"),
+        obs::MetricsRegistry::Get().histogram("threadpool.worker_idle_ms"),
+        obs::MetricsRegistry::Get().histogram("threadpool.task_ms"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -23,9 +48,15 @@ ThreadPool::~ThreadPool() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+void ThreadPool::NotifyTaskQueued() {
+  PoolMetrics::Get().queue_depth->Add(1.0);
+}
+
 void ThreadPool::WorkerLoop() {
+  const PoolMetrics& metrics = PoolMetrics::Get();
   while (true) {
     std::function<void()> task;
+    Stopwatch idle;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
@@ -36,7 +67,13 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    metrics.worker_idle_ms->Record(idle.ElapsedMillis());
+    metrics.queue_depth->Add(-1.0);
+    {
+      obs::ScopedTimer timer(metrics.task_ms);
+      task();
+    }
+    metrics.tasks_executed->Increment();
   }
 }
 
@@ -48,7 +85,20 @@ void ThreadPool::ParallelFor(size_t count,
   for (size_t i = 0; i < count; ++i) {
     futures.push_back(Submit([&fn, i]() { fn(i); }));
   }
-  for (std::future<void>& f : futures) f.get();
+  // The lambdas above capture `fn` (owned by the caller's frame) by
+  // reference, so every queued task must finish before this frame can
+  // unwind. Drain all futures unconditionally, remember the first
+  // failure, and only then rethrow — bailing out on the first get() would
+  // leave queued tasks holding a dangling reference (use-after-free).
+  std::exception_ptr first_error;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
 }  // namespace culevo

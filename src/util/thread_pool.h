@@ -39,16 +39,23 @@ class ThreadPool {
       std::lock_guard<std::mutex> lock(mu_);
       queue_.emplace_back([task]() { (*task)(); });
     }
+    NotifyTaskQueued();
     cv_.notify_one();
     return result;
   }
 
   /// Runs fn(i) for i in [0, count), distributing across the pool, and
-  /// blocks until all iterations complete. Exceptions propagate.
+  /// blocks until ALL iterations complete — even when some of them throw.
+  /// The first exception (in index order of future consumption) is
+  /// rethrown after the last iteration has finished; later exceptions are
+  /// discarded.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
  private:
   void WorkerLoop();
+  /// Bumps the queue-depth gauge (out-of-line so the header does not pull
+  /// in the metrics registry).
+  void NotifyTaskQueued();
 
   std::mutex mu_;
   std::condition_variable cv_;

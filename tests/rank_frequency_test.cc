@@ -47,6 +47,44 @@ TEST(AverageRankFrequenciesTest, UnequalLengthsZeroPadded) {
   EXPECT_DOUBLE_EQ(avg.at_rank(3), 0.125);
 }
 
+TEST(RankFrequencyTest, FromSortedPreservesGivenOrder) {
+  // FromSorted trusts the caller's rank order and must not re-sort, even
+  // for non-monotone values (derived/averaged curves).
+  const RankFrequency rf = RankFrequency::FromSorted({0.2, 0.8, 0.5});
+  ASSERT_EQ(rf.size(), 3u);
+  EXPECT_DOUBLE_EQ(rf.at_rank(1), 0.2);
+  EXPECT_DOUBLE_EQ(rf.at_rank(2), 0.8);
+  EXPECT_DOUBLE_EQ(rf.at_rank(3), 0.5);
+}
+
+// Regression: averaging used to route its result through the re-sorting
+// FromFrequencies factory, which silently reshuffled positions whenever
+// the position-wise average was not monotone. Rank r of the average must
+// always correspond to rank r of the inputs.
+TEST(AverageRankFrequenciesTest, KeepsPositionWiseOrderWithoutResorting) {
+  // Non-monotone inputs model derived curves (e.g. averages of averages).
+  const RankFrequency a = RankFrequency::FromSorted({0.1, 0.9, 0.3});
+  const RankFrequency b = RankFrequency::FromSorted({0.3, 0.1});
+  const RankFrequency avg = AverageRankFrequencies({a, b});
+  ASSERT_EQ(avg.size(), 3u);
+  EXPECT_DOUBLE_EQ(avg.at_rank(1), 0.2);    // (0.1 + 0.3) / 2
+  EXPECT_DOUBLE_EQ(avg.at_rank(2), 0.5);    // (0.9 + 0.1) / 2
+  EXPECT_DOUBLE_EQ(avg.at_rank(3), 0.15);   // (0.3 + 0.0) / 2, zero-padded
+}
+
+TEST(AverageRankFrequenciesTest, ZeroPadDividesByTotalCurveCount) {
+  // The average at ranks beyond a short curve divides by the number of
+  // curves, not the number of curves reaching that rank.
+  const RankFrequency a = RankFrequency::FromFrequencies({0.9, 0.6, 0.3});
+  const RankFrequency b = RankFrequency::FromFrequencies({0.5});
+  const RankFrequency c = RankFrequency::FromFrequencies({0.4, 0.3});
+  const RankFrequency avg = AverageRankFrequencies({a, b, c});
+  ASSERT_EQ(avg.size(), 3u);
+  EXPECT_DOUBLE_EQ(avg.at_rank(1), 0.6);            // (0.9+0.5+0.4)/3
+  EXPECT_DOUBLE_EQ(avg.at_rank(2), 0.3);            // (0.6+0.0+0.3)/3
+  EXPECT_DOUBLE_EQ(avg.at_rank(3), 0.3 / 3.0);      // (0.3+0.0+0.0)/3
+}
+
 TEST(AverageRankFrequenciesTest, EmptyInputs) {
   EXPECT_TRUE(AverageRankFrequencies({}).empty());
   EXPECT_TRUE(

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace culevo {
@@ -41,6 +43,53 @@ TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
 TEST(ThreadPoolTest, DefaultsToAtLeastOneThread) {
   ThreadPool pool;
   EXPECT_GE(pool.num_threads(), 1u);
+}
+
+// Regression test for the ParallelFor use-after-free: the iteration
+// lambdas capture `fn` (a caller-frame object) by reference, so an early
+// rethrow from the first failing future would let still-queued tasks run
+// against a destroyed frame. The fix drains every future before
+// rethrowing, which this test observes as "all iterations ran".
+TEST(ThreadPoolTest, ParallelForThrowingBodyRunsAllIterations) {
+  ThreadPool pool(4);
+  std::atomic<int> started{0};
+  const size_t count = 128;
+  try {
+    pool.ParallelFor(count, [&started](size_t i) {
+      ++started;
+      if (i % 2 == 0) {
+        throw std::runtime_error("iteration " + std::to_string(i));
+      }
+    });
+    FAIL() << "ParallelFor must propagate the body's exception";
+  } catch (const std::runtime_error&) {
+    // Expected: one of the even iterations' exceptions.
+  }
+  // Every iteration must have been accounted for before the rethrow; a
+  // short count means tasks were abandoned while still referencing fn.
+  EXPECT_EQ(started.load(), static_cast<int>(count));
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesFirstException) {
+  ThreadPool pool(2);
+  // Only iteration 0 throws, so the propagated exception is unambiguous.
+  try {
+    pool.ParallelFor(64, [](size_t i) {
+      if (i == 0) throw std::runtime_error("first");
+    });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForUsableAfterThrow) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(16, [](size_t) { throw 42; }), int);
+  // The pool must stay healthy for subsequent work.
+  std::atomic<int> hits{0};
+  pool.ParallelFor(100, [&hits](size_t) { ++hits; });
+  EXPECT_EQ(hits.load(), 100);
 }
 
 TEST(ThreadPoolTest, DestructorDrainsQueue) {
