@@ -1,72 +1,211 @@
-// Engineering benchmark: throughput of the two frequent-itemset miners on
-// corpus-shaped transaction sets (google-benchmark). Eclat is the default
-// miner in the reproduction pipeline; Apriori is the cross-check reference.
+// Perf-regression harness for the frequent-itemset mining engine.
+//
+// Times the hybrid tid-list Eclat miner (single-threaded and with
+// parallel root-class mining) and the prefix-indexed Apriori reference on
+// three workload families:
+//   corpus_sNN   — one mid-sized cuisine's ingredient transactions at
+//                  NN% of the synthetic corpus (dense-dominated, the
+//                  pipeline's actual shape);
+//   sparse_heavy — a hot core plus a long tail over a 2000-item universe
+//                  at low support (sparse/mixed kernels, dense->sparse
+//                  demotion);
+//   high_universe — near-uniform draws from an 8000-item universe
+//                  (sparse-only, wide root level).
+//
+// With --json <path> it writes BENCH_mining.json (schema documented in
+// EXPERIMENTS.md): one `<workload>_eclat_st_ms` / `_eclat_mt_ms` /
+// `_apriori_ms` median per workload plus itemset counts, so timing
+// regressions AND result drift are diffable across commits. Additional
+// flags: --threads <n> for the parallel miner (default: hardware
+// concurrency), --reps <n> timing repetitions (default 7, median
+// reported). Cross-checks inside the run: every Eclat mode and Apriori
+// (where it is run) must produce identical itemset counts, and the
+// binary exits non-zero if they diverge.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "analysis/apriori.h"
 #include "analysis/combinations.h"
 #include "analysis/eclat.h"
 #include "analysis/transactions.h"
+#include "bench/bench_common.h"
 #include "corpus/cuisine.h"
-#include "lexicon/world_lexicon.h"
-#include "synth/generator.h"
 #include "util/check.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace {
 
 using namespace culevo;
 
-/// One mid-sized cuisine's transactions at the given corpus scale.
-TransactionSet MakeTransactions(double scale) {
-  static const RecipeCorpus& corpus = []() -> const RecipeCorpus& {
-    SynthConfig config;
-    config.scale = 0.25;
-    Result<RecipeCorpus> made = SynthesizeWorldCorpus(WorldLexicon(), config);
-    CULEVO_CHECK_OK(made.status());
-    return *new RecipeCorpus(std::move(made).value());
-  }();
+struct Workload {
+  std::string name;
+  TransactionSet transactions;
+  size_t min_support = 1;
+  bool run_apriori = false;  ///< The reference miner is slow; gate it.
+};
+
+/// One mid-sized cuisine's transactions, truncated to `fraction`.
+TransactionSet CorpusTransactions(const RecipeCorpus& corpus,
+                                  double fraction) {
   const CuisineId cuisine = CuisineFromCode("FRA").value();
-  TransactionSet all = IngredientTransactions(corpus, cuisine);
+  const TransactionSet all = IngredientTransactions(corpus, cuisine);
   TransactionSet subset;
   const size_t keep =
-      static_cast<size_t>(static_cast<double>(all.size()) * scale);
+      static_cast<size_t>(static_cast<double>(all.size()) * fraction);
+  subset.Reserve(keep);
   for (size_t i = 0; i < keep; ++i) {
     subset.Add(std::vector<Item>(all.transaction(i)));
   }
   return subset;
 }
 
-void BM_Eclat(benchmark::State& state) {
-  const TransactionSet transactions =
-      MakeTransactions(static_cast<double>(state.range(0)) / 100.0);
-  const size_t support = AbsoluteSupport(transactions.size(), 0.05);
-  size_t itemsets = 0;
-  for (auto _ : state) {
-    itemsets = MineEclat(transactions, support).size();
-    benchmark::DoNotOptimize(itemsets);
+/// Hot core (dense tid lists) + long tail (sparse tid lists).
+TransactionSet SparseHeavyTransactions(uint64_t seed) {
+  Rng rng(seed);
+  TransactionSet out;
+  out.Reserve(4000);
+  for (int i = 0; i < 4000; ++i) {
+    std::vector<Item> t;
+    for (int j = 0; j < 3; ++j) {
+      t.push_back(static_cast<Item>(rng.NextBounded(30)));
+    }
+    for (int j = 0; j < 9; ++j) {
+      t.push_back(static_cast<Item>(30 + rng.NextBounded(1970)));
+    }
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+    out.Add(std::move(t));
   }
-  state.counters["transactions"] =
-      static_cast<double>(transactions.size());
-  state.counters["itemsets"] = static_cast<double>(itemsets);
+  return out;
 }
-BENCHMARK(BM_Eclat)->Arg(25)->Arg(50)->Arg(100);
 
-void BM_Apriori(benchmark::State& state) {
-  const TransactionSet transactions =
-      MakeTransactions(static_cast<double>(state.range(0)) / 100.0);
-  const size_t support = AbsoluteSupport(transactions.size(), 0.05);
-  size_t itemsets = 0;
-  for (auto _ : state) {
-    itemsets = MineApriori(transactions, support).size();
-    benchmark::DoNotOptimize(itemsets);
+/// Near-uniform draws from a wide universe: everything sparse.
+TransactionSet HighUniverseTransactions(uint64_t seed) {
+  Rng rng(seed);
+  TransactionSet out;
+  out.Reserve(2000);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<Item> t;
+    for (int j = 0; j < 14; ++j) {
+      t.push_back(static_cast<Item>(rng.NextBounded(8000)));
+    }
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+    out.Add(std::move(t));
   }
-  state.counters["transactions"] =
-      static_cast<double>(transactions.size());
-  state.counters["itemsets"] = static_cast<double>(itemsets);
+  return out;
 }
-BENCHMARK(BM_Apriori)->Arg(25)->Arg(50);
+
+/// Median wall time of `reps` runs of `fn` in milliseconds.
+template <typename Fn>
+double MedianMs(int reps, const Fn& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch watch;
+    fn();
+    samples.push_back(watch.ElapsedMillis());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::BenchOptions options = bench::ParseOptions(argc, argv);
+  const int reps = static_cast<int>(options.flags.GetInt("reps", 7));
+  const size_t threads =
+      static_cast<size_t>(options.flags.GetInt("threads", 0));
+  if (reps <= 0) {
+    std::fprintf(stderr, "--reps must be positive\n");
+    return 2;
+  }
+
+  bench::BenchReporter reporter("perf_mining", options);
+  reporter.BeginPhase("workload_build");
+  const RecipeCorpus corpus = bench::MakeWorld(options);
+  std::vector<Workload> workloads;
+  for (const double fraction : {0.25, 0.50, 1.00}) {
+    Workload w;
+    w.name = StrFormat("corpus_s%d", static_cast<int>(fraction * 100.0));
+    w.transactions = CorpusTransactions(corpus, fraction);
+    w.min_support = AbsoluteSupport(w.transactions.size(), 0.05);
+    w.run_apriori = fraction <= 0.50;  // matches the historical bench
+    workloads.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.name = "sparse_heavy";
+    w.transactions = SparseHeavyTransactions(options.seed);
+    w.min_support = AbsoluteSupport(w.transactions.size(), 0.004);
+    workloads.push_back(std::move(w));
+  }
+  {
+    Workload w;
+    w.name = "high_universe";
+    w.transactions = HighUniverseTransactions(options.seed);
+    w.min_support = AbsoluteSupport(w.transactions.size(), 0.0015);
+    workloads.push_back(std::move(w));
+  }
+
+  ThreadPool pool(threads);
+  reporter.AddResult("threads", static_cast<double>(pool.num_threads()));
+  reporter.AddResult("reps", reps);
+
+  std::printf("\n%-14s %9s %9s %12s %12s %12s\n", "workload", "txns",
+              "itemsets", "eclat_st_ms", "eclat_mt_ms", "apriori_ms");
+  bool consistent = true;
+  for (const Workload& w : workloads) {
+    reporter.BeginPhase("mine_" + w.name);
+    size_t itemsets_st = 0;
+    const double eclat_st_ms = MedianMs(reps, [&]() {
+      itemsets_st = MineEclat(w.transactions, w.min_support).size();
+    });
+
+    EclatOptions parallel;
+    parallel.pool = &pool;
+    size_t itemsets_mt = 0;
+    const double eclat_mt_ms = MedianMs(reps, [&]() {
+      itemsets_mt =
+          MineEclat(w.transactions, w.min_support, parallel).size();
+    });
+
+    size_t itemsets_apriori = itemsets_st;
+    double apriori_ms = 0.0;
+    if (w.run_apriori) {
+      apriori_ms = MedianMs(std::max(1, reps / 2), [&]() {
+        itemsets_apriori = MineApriori(w.transactions, w.min_support).size();
+      });
+    }
+
+    if (itemsets_mt != itemsets_st || itemsets_apriori != itemsets_st) {
+      std::fprintf(stderr,
+                   "MINER DISAGREEMENT on %s: st=%zu mt=%zu apriori=%zu\n",
+                   w.name.c_str(), itemsets_st, itemsets_mt,
+                   itemsets_apriori);
+      consistent = false;
+    }
+
+    std::printf("%-14s %9zu %9zu %12.3f %12.3f %12.3f\n", w.name.c_str(),
+                w.transactions.size(), itemsets_st, eclat_st_ms,
+                eclat_mt_ms, apriori_ms);
+    reporter.AddResult(w.name + "_transactions",
+                       static_cast<double>(w.transactions.size()));
+    reporter.AddResult(w.name + "_itemsets",
+                       static_cast<double>(itemsets_st));
+    reporter.AddResult(w.name + "_eclat_st_ms", eclat_st_ms);
+    reporter.AddResult(w.name + "_eclat_mt_ms", eclat_mt_ms);
+    if (w.run_apriori) {
+      reporter.AddResult(w.name + "_apriori_ms", apriori_ms);
+    }
+  }
+
+  const int exit_code = reporter.Finish();
+  return consistent ? exit_code : 1;
+}

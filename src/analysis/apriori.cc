@@ -1,7 +1,7 @@
 #include "analysis/apriori.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <unordered_set>
 
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
@@ -10,46 +10,39 @@
 namespace culevo {
 namespace {
 
-/// True if sorted `needle` is a subsequence-subset of sorted `haystack`.
-bool ContainsAll(const std::vector<Item>& haystack,
-                 const std::vector<Item>& needle) {
-  size_t i = 0;
-  for (Item item : haystack) {
-    if (i == needle.size()) break;
-    if (item == needle[i]) ++i;
-  }
-  return i == needle.size();
-}
-
 /// Candidate generation: joins pairs of frequent (k-1)-itemsets sharing a
 /// (k-2)-prefix, then prunes candidates with an infrequent (k-1)-subset.
 std::vector<std::vector<Item>> GenerateCandidates(
     const std::vector<std::vector<Item>>& frequent_prev) {
-  std::unordered_map<std::vector<Item>, bool, SequenceHash<Item>>
-      frequent_lookup;
+  std::unordered_set<std::vector<Item>, SequenceHash<Item>> frequent_lookup(
+      frequent_prev.size());
   for (const std::vector<Item>& itemset : frequent_prev) {
-    frequent_lookup.emplace(itemset, true);
+    frequent_lookup.insert(itemset);
   }
 
   std::vector<std::vector<Item>> candidates;
+  std::vector<Item> subset;  // Scratch for the prune probes.
   for (size_t a = 0; a < frequent_prev.size(); ++a) {
     for (size_t b = a + 1; b < frequent_prev.size(); ++b) {
       const std::vector<Item>& x = frequent_prev[a];
       const std::vector<Item>& y = frequent_prev[b];
-      // frequent_prev is sorted, so a shared prefix means x < y with only
-      // the last element differing.
+      // frequent_prev is sorted, so itemsets sharing a (k-2)-prefix form a
+      // contiguous run: once y's prefix differs from x's, no later y
+      // matches either.
       if (!std::equal(x.begin(), x.end() - 1, y.begin(), y.end() - 1)) {
-        continue;
+        break;
       }
       std::vector<Item> candidate = x;
       candidate.push_back(y.back());
-      // Prune: every (k-1)-subset must be frequent.
+      // Prune: every (k-1)-subset must be frequent. (Dropping the last
+      // element gives x, frequent by construction.)
       bool all_subsets_frequent = true;
-      // (Dropping the last element gives x, frequent by construction.)
       for (size_t drop = 0; drop + 1 < candidate.size(); ++drop) {
-        std::vector<Item> test = candidate;
-        test.erase(test.begin() + static_cast<long>(drop));
-        if (frequent_lookup.find(test) == frequent_lookup.end()) {
+        subset.clear();
+        for (size_t k = 0; k < candidate.size(); ++k) {
+          if (k != drop) subset.push_back(candidate[k]);
+        }
+        if (frequent_lookup.find(subset) == frequent_lookup.end()) {
           all_subsets_frequent = false;
           break;
         }
@@ -59,6 +52,46 @@ std::vector<std::vector<Item>> GenerateCandidates(
   }
   std::sort(candidates.begin(), candidates.end());
   return candidates;
+}
+
+/// Support counting via a prefix index: candidates (sorted, all of equal
+/// size k) are bucketed by first item, and a transaction only probes the
+/// buckets of the items it actually contains — O(sum over items in t of
+/// bucket size) per transaction instead of O(|C|).
+void CountSupports(const TransactionSet& transactions,
+                   const std::vector<std::vector<Item>>& candidates,
+                   std::vector<size_t>* counts) {
+  const size_t universe = transactions.item_universe();
+  std::vector<std::pair<uint32_t, uint32_t>> buckets(
+      universe, {0, 0});  // [begin, end) into `candidates` per first item
+  for (size_t c = 0; c < candidates.size();) {
+    const Item first = candidates[c][0];
+    size_t end = c + 1;
+    while (end < candidates.size() && candidates[end][0] == first) ++end;
+    buckets[first] = {static_cast<uint32_t>(c), static_cast<uint32_t>(end)};
+    c = end;
+  }
+
+  const size_t k = candidates.empty() ? 0 : candidates[0].size();
+  for (const std::vector<Item>& t : transactions.transactions()) {
+    if (t.size() < k) continue;
+    for (size_t p = 0; p + k <= t.size(); ++p) {
+      const auto [begin, end] = buckets[t[p]];
+      for (size_t c = begin; c < end; ++c) {
+        const std::vector<Item>& candidate = candidates[c];
+        // Two-pointer check of candidate[1:] against t[p+1:]; both sorted.
+        size_t i = 1;
+        for (size_t j = p + 1; j < t.size() && i < k; ++j) {
+          if (t[j] == candidate[i]) {
+            ++i;
+          } else if (t[j] > candidate[i]) {
+            break;
+          }
+        }
+        if (i == k) ++(*counts)[c];
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -102,14 +135,7 @@ std::vector<Itemset> MineApriori(const TransactionSet& transactions,
     if (candidates.empty()) break;
     levels->Increment();
     std::vector<size_t> counts(candidates.size(), 0);
-    for (const std::vector<Item>& t : transactions.transactions()) {
-      for (size_t c = 0; c < candidates.size(); ++c) {
-        if (candidates[c].size() <= t.size() &&
-            ContainsAll(t, candidates[c])) {
-          ++counts[c];
-        }
-      }
-    }
+    CountSupports(transactions, candidates, &counts);
     frequent.clear();
     for (size_t c = 0; c < candidates.size(); ++c) {
       if (counts[c] >= min_support_count) {

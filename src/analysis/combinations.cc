@@ -19,8 +19,11 @@ std::vector<Itemset> MineCombinations(const TransactionSet& transactions,
   const size_t support =
       AbsoluteSupport(transactions.size(), config.min_relative_support);
   switch (config.miner) {
-    case MinerKind::kEclat:
-      return MineEclat(transactions, support);
+    case MinerKind::kEclat: {
+      EclatOptions options;
+      options.pool = config.mining_pool;
+      return MineEclat(transactions, support, options);
+    }
     case MinerKind::kApriori:
       return MineApriori(transactions, support);
   }

@@ -11,9 +11,11 @@
 
 namespace culevo {
 
+class ThreadPool;
+
 /// Which frequent-itemset algorithm to run.
 enum class MinerKind {
-  kEclat,    ///< Vertical bitset miner; default, fast.
+  kEclat,    ///< Vertical hybrid tid-list miner; default, fast.
   kApriori,  ///< Level-wise reference miner.
 };
 
@@ -23,6 +25,10 @@ enum class MinerKind {
 struct CombinationConfig {
   double min_relative_support = 0.05;
   MinerKind miner = MinerKind::kEclat;
+  /// When non-null and the miner is Eclat, root-level equivalence classes
+  /// are mined in parallel on this pool. Leave null when the surrounding
+  /// computation already runs on the same pool (see RunSimulation).
+  ThreadPool* mining_pool = nullptr;
 };
 
 /// Converts a relative support into an absolute transaction count

@@ -1,118 +1,414 @@
 #include "analysis/eclat.h"
 
 #include <algorithm>
-#include <bit>
+#include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <deque>
+#include <mutex>
 
+#include "analysis/tidlist.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
+#include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace culevo {
 namespace {
 
-/// Fixed-width bitset over transaction ids with popcount support.
-class TidSet {
- public:
-  explicit TidSet(size_t num_transactions)
-      : words_((num_transactions + 63) / 64, 0) {}
+using mining::kAborted;
+using mining::TidArena;
+using mining::TidList;
 
-  void Set(size_t tid) { words_[tid >> 6] |= (uint64_t{1} << (tid & 63)); }
+/// Kernel-invocation counts accumulated locally per mining task and
+/// flushed to the obs registry once per call, so the hot loops never touch
+/// the (sharded but still atomic) counters.
+struct KernelStats {
+  int64_t dense_intersections = 0;
+  int64_t sparse_intersections = 0;
+  int64_t mixed_intersections = 0;
+  int64_t early_aborts = 0;
 
-  size_t Count() const {
-    size_t total = 0;
-    for (uint64_t w : words_) total += static_cast<size_t>(std::popcount(w));
-    return total;
+  void Accumulate(const KernelStats& other) {
+    dense_intersections += other.dense_intersections;
+    sparse_intersections += other.sparse_intersections;
+    mixed_intersections += other.mixed_intersections;
+    early_aborts += other.early_aborts;
   }
-
-  /// this := a AND b. All three must have equal width.
-  void AssignAnd(const TidSet& a, const TidSet& b) {
-    for (size_t i = 0; i < words_.size(); ++i) {
-      words_[i] = a.words_[i] & b.words_[i];
-    }
-  }
-
- private:
-  std::vector<uint64_t> words_;
 };
 
 struct Node {
   Item item;
-  TidSet tids;
-  size_t support;
+  TidList tids;
 };
 
-void Mine(const std::vector<Node>& siblings, std::vector<Item>* prefix,
-          size_t num_transactions, size_t min_support,
-          std::vector<Itemset>* out) {
-  for (size_t i = 0; i < siblings.size(); ++i) {
-    const Node& node = siblings[i];
-    prefix->push_back(node.item);
-    out->push_back(Itemset{*prefix, node.support});
+/// Grid-size cap (in words) below which the root tid lists are built by
+/// direct transposition: one dense bitset row per *universe* item scattered
+/// into in a single pass, with per-row popcounts replacing the counting
+/// pass. 1<<15 words = 256 KiB keeps the grid cache-resident; wider
+/// universes fall back to the count-then-fill build.
+constexpr size_t kDirectGridMaxWords = size_t{1} << 15;
 
-    // Extend with later siblings (items are in ascending order).
-    std::vector<Node> children;
-    for (size_t j = i + 1; j < siblings.size(); ++j) {
-      TidSet intersection(num_transactions);
-      intersection.AssignAnd(node.tids, siblings[j].tids);
-      const size_t support = intersection.Count();
-      if (support >= min_support) {
-        children.push_back(
-            Node{siblings[j].item, std::move(intersection), support});
+bool NodeSupportLess(const Node& a, const Node& b) {
+  if (a.tids.support != b.tids.support) {
+    return a.tids.support < b.tids.support;
+  }
+  return a.item < b.item;
+}
+
+/// Mines the equivalence classes below single root items. One instance per
+/// mining task (the whole call when serial, one root class when parallel);
+/// owns no tid storage — payloads live in the arena passed in, released
+/// with stack discipline as the recursion unwinds. Sibling Node vectors are
+/// pooled per recursion depth, so steady-state mining allocates only for
+/// emitted itemsets.
+class ClassMiner {
+ public:
+  ClassMiner(TidArena* arena, size_t num_words, size_t min_support,
+             size_t dense_min_support, std::vector<Itemset>* out)
+      : arena_(arena),
+        num_words_(num_words),
+        min_support_(min_support),
+        dense_min_support_(dense_min_support),
+        out_(out) {}
+
+  /// Mines root `root_index` and its entire equivalence class (extensions
+  /// drawn from the roots after it).
+  void MineFrom(const std::vector<Node>& roots, size_t root_index) {
+    const Node& root = roots[root_index];
+    prefix_.clear();
+    prefix_.push_back(root.item);
+    EmitPrefix(root.tids.support);
+    if (root_index + 1 < roots.size()) {
+      const TidArena::Mark mark = arena_->Position();
+      std::vector<Node>& children = LevelBuffer(0);
+      BuildChildren(root, roots, root_index + 1, &children);
+      if (!children.empty()) MineSiblings(children, 1);
+      arena_->Rewind(mark);
+    }
+  }
+
+  const KernelStats& stats() const { return stats_; }
+
+ private:
+  std::vector<Node>& LevelBuffer(size_t depth) {
+    while (levels_.size() <= depth) levels_.emplace_back();
+    return levels_[depth];
+  }
+
+  void EmitPrefix(uint32_t support) {
+    std::vector<Item> items(prefix_);
+    // Siblings are processed in ascending-support order, so the prefix is
+    // not item-sorted; Itemset requires ascending items.
+    std::sort(items.begin(), items.end());
+    out_->push_back(Itemset{std::move(items), support});
+  }
+
+  void BuildChildren(const Node& node, const std::vector<Node>& siblings,
+                     size_t from, std::vector<Node>* children) {
+    children->clear();
+    for (size_t j = from; j < siblings.size(); ++j) {
+      TidList tids;
+      if (Intersect(node.tids, siblings[j].tids, &tids)) {
+        children->push_back(Node{siblings[j].item, tids});
       }
     }
-    if (!children.empty()) {
-      Mine(children, prefix, num_transactions, min_support, out);
-    }
-    prefix->pop_back();
+    // Dynamic reordering: extend the smallest tid lists first so deeper
+    // intersections shrink (and abort) as early as possible.
+    std::sort(children->begin(), children->end(), NodeSupportLess);
   }
+
+  void MineSiblings(std::vector<Node>& siblings, size_t depth) {
+    for (size_t i = 0; i < siblings.size(); ++i) {
+      const Node& node = siblings[i];
+      prefix_.push_back(node.item);
+      EmitPrefix(node.tids.support);
+      if (i + 1 < siblings.size()) {
+        const TidArena::Mark mark = arena_->Position();
+        std::vector<Node>& children = LevelBuffer(depth);
+        BuildChildren(node, siblings, i + 1, &children);
+        if (!children.empty()) MineSiblings(children, depth + 1);
+        arena_->Rewind(mark);
+      }
+      prefix_.pop_back();
+    }
+  }
+
+  /// Intersects two tid lists into arena storage. Returns false (with the
+  /// arena rewound) when the result cannot reach min_support. Result
+  /// representation follows the density threshold: dense x dense results
+  /// that fall below it are demoted to sparse, and any result with a
+  /// sparse input is at most as large as that input, hence stays sparse.
+  bool Intersect(const TidList& a, const TidList& b, TidList* out) {
+    if (a.dense() && b.dense()) {
+      ++stats_.dense_intersections;
+      uint64_t* words = arena_->AllocWords(num_words_);
+      const size_t s = mining::IntersectDenseDense(
+          a.words, b.words, num_words_, min_support_, words);
+      if (s == kAborted) {
+        ++stats_.early_aborts;
+        arena_->TrimTo(words, 0);
+        return false;
+      }
+      if (s >= dense_min_support_) {
+        out->words = words;
+        out->support = static_cast<uint32_t>(s);
+        return true;
+      }
+      scratch_.resize(s);
+      mining::DenseToSparse(words, num_words_, scratch_.data());
+      arena_->TrimTo(words, 0);
+      uint32_t* tids = arena_->AllocTids(s);
+      std::copy_n(scratch_.data(), s, tids);
+      out->tids = tids;
+      out->support = static_cast<uint32_t>(s);
+      return true;
+    }
+
+    size_t s = 0;
+    uint32_t* tids = nullptr;
+    if (!a.dense() && !b.dense()) {
+      ++stats_.sparse_intersections;
+      tids = arena_->AllocTids(std::min(a.support, b.support));
+      s = mining::IntersectSparseSparse(a.tids, a.support, b.tids, b.support,
+                                        min_support_, tids);
+    } else {
+      ++stats_.mixed_intersections;
+      const TidList& sparse = a.dense() ? b : a;
+      const TidList& dense = a.dense() ? a : b;
+      tids = arena_->AllocTids(sparse.support);
+      s = mining::IntersectSparseDense(sparse.tids, sparse.support,
+                                       dense.words, min_support_, tids);
+    }
+    if (s == kAborted || s < min_support_) {
+      if (s == kAborted) ++stats_.early_aborts;
+      arena_->TrimToTids(tids, 0);
+      return false;
+    }
+    arena_->TrimToTids(tids, s);
+    out->tids = tids;
+    out->support = static_cast<uint32_t>(s);
+    return true;
+  }
+
+  TidArena* arena_;
+  const size_t num_words_;
+  const size_t min_support_;
+  const size_t dense_min_support_;
+  std::vector<Itemset>* out_;
+  std::vector<Item> prefix_;
+  std::deque<std::vector<Node>> levels_;  ///< Per-depth sibling freelist.
+  std::vector<uint32_t> scratch_;         ///< Dense-to-sparse staging.
+  KernelStats stats_;
+};
+
+/// Sorts `itemsets` with ItemsetLess — (size, lexicographic items) — via a
+/// presort on a packed (size, leading item) key, so the cache-hostile
+/// vector-vs-vector comparisons only run inside the tiny equal-key runs.
+void SortItemsets(std::vector<Itemset>* itemsets) {
+  std::vector<std::pair<uint64_t, uint32_t>> keys(itemsets->size());
+  for (size_t i = 0; i < itemsets->size(); ++i) {
+    const Itemset& set = (*itemsets)[i];
+    keys[i] = {(uint64_t{set.items.size()} << 32) | set.items.front(),
+               static_cast<uint32_t>(i)};
+  }
+  std::sort(keys.begin(), keys.end());
+  std::vector<Itemset> sorted;
+  sorted.reserve(itemsets->size());
+  size_t i = 0;
+  while (i < keys.size()) {
+    size_t j = i + 1;
+    while (j < keys.size() && keys[j].first == keys[i].first) ++j;
+    if (j - i > 1) {
+      std::sort(keys.begin() + static_cast<ptrdiff_t>(i),
+                keys.begin() + static_cast<ptrdiff_t>(j),
+                [&](const std::pair<uint64_t, uint32_t>& a,
+                    const std::pair<uint64_t, uint32_t>& b) {
+                  return ItemsetLess((*itemsets)[a.second],
+                                     (*itemsets)[b.second]);
+                });
+    }
+    for (; i < j; ++i) {
+      sorted.push_back(std::move((*itemsets)[keys[i].second]));
+    }
+  }
+  *itemsets = std::move(sorted);
 }
+
+struct EclatMetrics {
+  obs::Counter* calls;
+  obs::Counter* itemsets;
+  obs::Counter* txns;
+  obs::Counter* dense;
+  obs::Counter* sparse;
+  obs::Counter* mixed;
+  obs::Counter* aborts;
+  obs::Counter* arena_bytes;
+  obs::Histogram* wall_ms;
+
+  static const EclatMetrics& Get() {
+    static const EclatMetrics m = {
+        obs::MetricsRegistry::Get().counter("mine.eclat.calls"),
+        obs::MetricsRegistry::Get().counter("mine.eclat.itemsets"),
+        obs::MetricsRegistry::Get().counter("mine.eclat.transactions"),
+        obs::MetricsRegistry::Get().counter(
+            "mine.eclat.dense_intersections"),
+        obs::MetricsRegistry::Get().counter(
+            "mine.eclat.sparse_intersections"),
+        obs::MetricsRegistry::Get().counter(
+            "mine.eclat.mixed_intersections"),
+        obs::MetricsRegistry::Get().counter("mine.eclat.early_aborts"),
+        obs::MetricsRegistry::Get().counter("mine.eclat.arena_bytes"),
+        obs::MetricsRegistry::Get().histogram("mine.eclat.ms"),
+    };
+    return m;
+  }
+};
 
 }  // namespace
 
 std::vector<Itemset> MineEclat(const TransactionSet& transactions,
-                               size_t min_support_count) {
-  static obs::Counter* calls =
-      obs::MetricsRegistry::Get().counter("mine.eclat.calls");
-  static obs::Counter* itemsets =
-      obs::MetricsRegistry::Get().counter("mine.eclat.itemsets");
-  static obs::Counter* txns =
-      obs::MetricsRegistry::Get().counter("mine.eclat.transactions");
-  static obs::Histogram* wall_ms =
-      obs::MetricsRegistry::Get().histogram("mine.eclat.ms");
-  obs::ScopedTimer timer(wall_ms);
-  calls->Increment();
+                               size_t min_support_count,
+                               const EclatOptions& options) {
+  const EclatMetrics& metrics = EclatMetrics::Get();
+  obs::ScopedTimer timer(metrics.wall_ms);
+  metrics.calls->Increment();
 
   if (min_support_count == 0) min_support_count = 1;
   const size_t n = transactions.size();
-  txns->Increment(static_cast<int64_t>(n));
+  metrics.txns->Increment(static_cast<int64_t>(n));
+  if (n == 0) return {};
+  CULEVO_DCHECK(n <= UINT32_MAX);
+  const size_t num_words = (n + 63) / 64;
+  const double threshold = options.density_threshold;
+  const size_t dense_min_support =
+      threshold <= 0.0
+          ? 0
+          : static_cast<size_t>(
+                std::ceil(threshold * static_cast<double>(n)));
 
-  // Vertical representation: one tid-bitset per item.
-  std::vector<size_t> counts(transactions.item_universe(), 0);
-  for (const std::vector<Item>& t : transactions.transactions()) {
-    for (Item item : t) ++counts[item];
-  }
+  // Frequent singletons -> root tid lists (vertical representation).
+  TidArena root_arena;
   std::vector<Node> roots;
-  std::vector<int32_t> node_of_item(transactions.item_universe(), -1);
-  for (size_t item = 0; item < counts.size(); ++item) {
-    if (counts[item] >= min_support_count) {
-      node_of_item[item] = static_cast<int32_t>(roots.size());
-      roots.push_back(
-          Node{static_cast<Item>(item), TidSet(n), counts[item]});
+  const size_t universe = transactions.item_universe();
+  const size_t grid_words = universe * num_words;
+  if (grid_words > 0 && grid_words <= kDirectGridMaxWords) {
+    // Direct transposition: scatter every occurrence into a dense
+    // universe x num_words bit grid in one pass, then read supports off
+    // per-row popcounts. Skips the counting pass and the per-item
+    // frequent/representation branching in the scatter loop.
+    uint64_t* grid = root_arena.AllocWords(grid_words);
+    std::memset(grid, 0, grid_words * sizeof(uint64_t));
+    for (size_t tid = 0; tid < n; ++tid) {
+      const size_t word = tid >> 6;
+      const uint64_t bit = uint64_t{1} << (tid & 63);
+      for (Item item : transactions.transaction(tid)) {
+        grid[static_cast<size_t>(item) * num_words + word] |= bit;
+      }
+    }
+    for (size_t item = 0; item < universe; ++item) {
+      const uint64_t* row = grid + item * num_words;
+      const size_t support = mining::PopcountWords(row, num_words);
+      if (support < min_support_count) continue;
+      TidList tids;
+      tids.support = static_cast<uint32_t>(support);
+      if (support >= dense_min_support) {
+        tids.words = row;
+      } else {
+        uint32_t* out = root_arena.AllocTids(support);
+        mining::DenseToSparse(row, num_words, out);
+        tids.tids = out;
+      }
+      roots.push_back(Node{static_cast<Item>(item), tids});
+    }
+  } else {
+    std::vector<uint32_t> counts(universe, 0);
+    for (const std::vector<Item>& t : transactions.transactions()) {
+      for (Item item : t) ++counts[item];
+    }
+    // Flat per-item destination tables keep the fill loop to one load and
+    // one branch per occurrence of a frequent item.
+    std::vector<uint64_t*> words_of_item(universe, nullptr);
+    std::vector<uint32_t*> cursor_of_item(universe, nullptr);
+    for (size_t item = 0; item < universe; ++item) {
+      if (counts[item] < min_support_count) continue;
+      TidList tids;
+      tids.support = counts[item];
+      if (counts[item] >= dense_min_support) {
+        uint64_t* words = root_arena.AllocWords(num_words);
+        std::memset(words, 0, num_words * sizeof(uint64_t));
+        tids.words = words;
+        words_of_item[item] = words;
+      } else {
+        uint32_t* out = root_arena.AllocTids(counts[item]);
+        tids.tids = out;
+        cursor_of_item[item] = out;
+      }
+      roots.push_back(Node{static_cast<Item>(item), tids});
+    }
+    for (size_t tid = 0; tid < n; ++tid) {
+      const size_t word = tid >> 6;
+      const uint64_t bit = uint64_t{1} << (tid & 63);
+      for (Item item : transactions.transaction(tid)) {
+        if (uint64_t* words = words_of_item[item]) {
+          words[word] |= bit;
+        } else if (uint32_t*& cursor = cursor_of_item[item]) {
+          *cursor++ = static_cast<uint32_t>(tid);
+        }
+      }
     }
   }
-  for (size_t tid = 0; tid < n; ++tid) {
-    for (Item item : transactions.transaction(tid)) {
-      const int32_t node = node_of_item[item];
-      if (node >= 0) roots[static_cast<size_t>(node)].tids.Set(tid);
-    }
-  }
+  std::sort(roots.begin(), roots.end(), NodeSupportLess);
 
   std::vector<Itemset> result;
-  std::vector<Item> prefix;
-  Mine(roots, &prefix, n, min_support_count, &result);
-  std::sort(result.begin(), result.end(), ItemsetLess);
-  itemsets->Increment(static_cast<int64_t>(result.size()));
+  KernelStats stats;
+  int64_t arena_bytes = 0;
+  if (options.pool != nullptr && roots.size() > 1) {
+    // Each root-level equivalence class is an independent task with its
+    // own arena and result buffer; buffers are concatenated in root order
+    // (deterministic) and sorted once below. Class arenas start at a few
+    // tid lists' worth of storage (wide-universe inputs spawn thousands
+    // of short-lived classes) and grow chunk-wise if a class runs deep.
+    const size_t class_chunk_words = std::min(
+        TidArena::kDefaultChunkWords, std::max<size_t>(64, 16 * num_words));
+    std::vector<std::vector<Itemset>> per_root(roots.size());
+    std::mutex merge_mu;
+    options.pool->ParallelFor(roots.size(), [&](size_t i) {
+      TidArena arena(class_chunk_words);
+      ClassMiner miner(&arena, num_words, min_support_count,
+                       dense_min_support, &per_root[i]);
+      miner.MineFrom(roots, i);
+      std::lock_guard<std::mutex> lock(merge_mu);
+      stats.Accumulate(miner.stats());
+      arena_bytes += static_cast<int64_t>(arena.allocated_bytes());
+    });
+    size_t total = 0;
+    for (const std::vector<Itemset>& part : per_root) total += part.size();
+    result.reserve(total);
+    for (std::vector<Itemset>& part : per_root) {
+      std::move(part.begin(), part.end(), std::back_inserter(result));
+    }
+  } else {
+    ClassMiner miner(&root_arena, num_words, min_support_count,
+                     dense_min_support, &result);
+    for (size_t i = 0; i < roots.size(); ++i) miner.MineFrom(roots, i);
+    stats.Accumulate(miner.stats());
+    arena_bytes = static_cast<int64_t>(root_arena.allocated_bytes());
+  }
+
+  SortItemsets(&result);
+  metrics.itemsets->Increment(static_cast<int64_t>(result.size()));
+  metrics.dense->Increment(stats.dense_intersections);
+  metrics.sparse->Increment(stats.sparse_intersections);
+  metrics.mixed->Increment(stats.mixed_intersections);
+  metrics.aborts->Increment(stats.early_aborts);
+  metrics.arena_bytes->Increment(arena_bytes);
   return result;
+}
+
+std::vector<Itemset> MineEclat(const TransactionSet& transactions,
+                               size_t min_support_count) {
+  return MineEclat(transactions, min_support_count, EclatOptions{});
 }
 
 }  // namespace culevo

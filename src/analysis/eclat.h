@@ -7,13 +7,38 @@
 
 namespace culevo {
 
-/// Eclat frequent-itemset mining (Zaki 2000) over vertical transaction-id
-/// bitsets. Produces exactly the same itemsets as MineApriori (the test
-/// suite cross-checks them) but runs orders of magnitude faster on the
-/// corpus-sized inputs used by the benchmark harness.
+class ThreadPool;
+
+/// Tuning knobs for the Eclat engine. The defaults are what the pipeline
+/// uses; tests pin `density_threshold` to force the pure-dense or
+/// pure-sparse code paths.
+struct EclatOptions {
+  /// When non-null, root-level equivalence classes are mined as independent
+  /// tasks on this pool (per-class arenas and result buffers, merged and
+  /// sorted once at the end — output is identical to the serial path).
+  /// Must not be the pool this call itself is running on: ThreadPool::
+  /// ParallelFor is not reentrant and nested use can deadlock.
+  ThreadPool* pool = nullptr;
+
+  /// A tid list with support >= ceil(density_threshold * num_transactions)
+  /// is stored as a dense bitset, below that as a sorted sparse uint32
+  /// vector. 1/32 is the memory break-even point (bitset = n/8 bytes vs
+  /// 4 bytes per tid). <= 0 forces all-dense, > 1 forces all-sparse.
+  double density_threshold = 1.0 / 32.0;
+};
+
+/// Eclat frequent-itemset mining (Zaki 2000) over vertical tid lists in a
+/// hybrid dense-bitset / sparse-vector representation, with arena-backed
+/// candidate storage and optional parallel root-class mining. Produces
+/// exactly the same itemsets as MineApriori (the test suite cross-checks
+/// them) but runs orders of magnitude faster on the corpus-sized inputs
+/// used by the benchmark harness.
 ///
 /// Returns every itemset of size >= 1 with support >= `min_support_count`
 /// (0 is treated as 1), sorted with ItemsetLess.
+std::vector<Itemset> MineEclat(const TransactionSet& transactions,
+                               size_t min_support_count,
+                               const EclatOptions& options);
 std::vector<Itemset> MineEclat(const TransactionSet& transactions,
                                size_t min_support_count);
 

@@ -1,0 +1,186 @@
+#include "analysis/tidlist.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.h"
+
+// The dense kernels are pure AND+popcount loops whose throughput is set by
+// the instruction set the compiler may assume. The portable x86-64 baseline
+// has no POPCNT instruction, turning std::popcount into a libcall per word
+// (~10x slower than the hardware path), so on x86-64 Linux the kernels are
+// compiled into per-ISA clones resolved once at load time (ifunc): an AVX2
+// clone, a POPCNT clone, and the portable default. Non-x86 targets lower
+// std::popcount natively and get the plain definition.
+#if defined(__x86_64__) && defined(__linux__) && defined(__GNUC__)
+#define CULEVO_POPCOUNT_CLONES \
+  __attribute__((target_clones("avx2", "popcnt", "default")))
+#else
+#define CULEVO_POPCOUNT_CLONES
+#endif
+
+namespace culevo::mining {
+
+uint64_t* TidArena::AllocWordsSlow(size_t words) {
+  CULEVO_DCHECK(words > 0);
+  while (true) {
+    if (chunk_ < chunks_.size()) {
+      Chunk& chunk = chunks_[chunk_];
+      if (chunk.size - used_ >= words) {
+        uint64_t* ptr = chunk.data.get() + used_;
+        used_ += words;
+        return ptr;
+      }
+      // Doesn't fit here; fall through to the next chunk. (A retained
+      // chunk that is too small for this request is skipped, not freed —
+      // marks taken earlier keep indexing the same chunks.)
+      ++chunk_;
+      used_ = 0;
+      continue;
+    }
+    const size_t size = std::max(chunk_words_, words);
+    // for_overwrite: chunks hand out uninitialized words; value-init here
+    // would zero every chunk a second time behind the callers' memsets.
+    chunks_.push_back(
+        Chunk{std::make_unique_for_overwrite<uint64_t[]>(size), size});
+    total_words_ += size;
+  }
+}
+
+CULEVO_POPCOUNT_CLONES
+size_t IntersectDenseDense(const uint64_t* a, const uint64_t* b,
+                           size_t num_words, size_t min_support,
+                           uint64_t* out) {
+  // The abort bound is checked once per block, not per word, so the inner
+  // loop is a branch-free AND+popcount the vectorizer can unroll. Checking
+  // later than word-by-word never changes the result: any scan that would
+  // have aborted mid-block still ends with count < min_support and is
+  // caught by a later check or the final comparison.
+  constexpr size_t kBlockWords = 8;
+  size_t count = 0;
+  size_t i = 0;
+  while (num_words - i >= kBlockWords) {
+    size_t block = 0;
+    for (size_t j = 0; j < kBlockWords; ++j) {
+      const uint64_t w = a[i + j] & b[i + j];
+      out[i + j] = w;
+      block += static_cast<size_t>(std::popcount(w));
+    }
+    count += block;
+    i += kBlockWords;
+    if (count + 64 * (num_words - i) < min_support) return kAborted;
+  }
+  for (; i < num_words; ++i) {
+    const uint64_t w = a[i] & b[i];
+    out[i] = w;
+    count += static_cast<size_t>(std::popcount(w));
+  }
+  return count < min_support ? kAborted : count;
+}
+
+CULEVO_POPCOUNT_CLONES
+size_t PopcountWords(const uint64_t* words, size_t num_words) {
+  size_t count = 0;
+  for (size_t i = 0; i < num_words; ++i) {
+    count += static_cast<size_t>(std::popcount(words[i]));
+  }
+  return count;
+}
+
+size_t GallopFirstGeq(const uint32_t* v, size_t len, size_t from,
+                      uint32_t value) {
+  if (from >= len || v[from] >= value) return from;
+  // Invariant: v[from] < value. Double the step until we overshoot.
+  size_t step = 1;
+  size_t prev = from;
+  size_t next = from + step;
+  while (next < len && v[next] < value) {
+    prev = next;
+    step <<= 1;
+    next = from + step;
+  }
+  const uint32_t* first = v + prev + 1;
+  const uint32_t* last = v + std::min(next + 1, len);
+  return static_cast<size_t>(std::lower_bound(first, last, value) - v);
+}
+
+namespace {
+
+/// Galloping intersection: `small` is probed element-by-element against
+/// exponential+binary search positions in `large`.
+size_t GallopIntersect(const uint32_t* small_v, size_t small_len,
+                       const uint32_t* large_v, size_t large_len,
+                       size_t min_support, uint32_t* out) {
+  size_t count = 0;
+  size_t lo = 0;
+  for (size_t i = 0; i < small_len; ++i) {
+    if (count + (small_len - i) < min_support) return kAborted;
+    lo = GallopFirstGeq(large_v, large_len, lo, small_v[i]);
+    if (lo >= large_len) break;
+    if (large_v[lo] == small_v[i]) {
+      out[count++] = small_v[i];
+      ++lo;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+size_t IntersectSparseSparse(const uint32_t* a, size_t a_len,
+                             const uint32_t* b, size_t b_len,
+                             size_t min_support, uint32_t* out) {
+  if (a_len > b_len) {
+    std::swap(a, b);
+    std::swap(a_len, b_len);
+  }
+  if (a_len == 0) return (min_support > 0) ? kAborted : 0;
+  if (a_len * kGallopRatio < b_len) {
+    return GallopIntersect(a, a_len, b, b_len, min_support, out);
+  }
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i < a_len && j < b_len) {
+    if (count + std::min(a_len - i, b_len - j) < min_support) {
+      return kAborted;
+    }
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out[count++] = a[i];
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+size_t IntersectSparseDense(const uint32_t* sparse, size_t sparse_len,
+                            const uint64_t* words, size_t min_support,
+                            uint32_t* out) {
+  size_t count = 0;
+  for (size_t i = 0; i < sparse_len; ++i) {
+    if (count + (sparse_len - i) < min_support) return kAborted;
+    const uint32_t tid = sparse[i];
+    if (words[tid >> 6] & (uint64_t{1} << (tid & 63))) out[count++] = tid;
+  }
+  return count;
+}
+
+size_t DenseToSparse(const uint64_t* words, size_t num_words, uint32_t* out) {
+  size_t count = 0;
+  for (size_t w = 0; w < num_words; ++w) {
+    uint64_t bits = words[w];
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      out[count++] = static_cast<uint32_t>((w << 6) + static_cast<size_t>(bit));
+      bits &= bits - 1;
+    }
+  }
+  return count;
+}
+
+}  // namespace culevo::mining

@@ -1,0 +1,159 @@
+#ifndef CULEVO_ANALYSIS_TIDLIST_H_
+#define CULEVO_ANALYSIS_TIDLIST_H_
+
+// Transaction-id-list machinery behind the Eclat miner: a hybrid
+// dense-bitset / sorted-sparse-vector representation, the intersection
+// kernels for every representation pairing (with support-based early
+// abort), and a rewindable arena so the recursive miner performs zero
+// per-candidate heap allocations.
+//
+// Exposed as a header so the kernel edge cases (early-abort bound,
+// galloping merge) are unit-testable in isolation; everything lives in
+// `culevo::mining` to keep the top-level namespace clean.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace culevo::mining {
+
+/// Sentinel returned by the intersection kernels when the remaining-input
+/// upper bound proves the result cannot reach `min_support`, so the kernel
+/// stopped before consuming all input. Callers must treat the output
+/// buffer as garbage in that case.
+inline constexpr size_t kAborted = static_cast<size_t>(-1);
+
+/// Size-ratio between two sparse lists above which the intersection
+/// switches from a linear merge to galloping (exponential + binary probe
+/// of the longer list).
+inline constexpr size_t kGallopRatio = 8;
+
+/// A tid list in one of two representations:
+///  - dense: `words` points at a fixed-width bitset over all transactions
+///    (the miner knows the shared word count);
+///  - sparse: `tids` points at `support` sorted, unique transaction ids.
+/// Exactly one of `words`/`tids` is non-null. Payloads live in a TidArena
+/// (or, for roots, in the root arena) and are never owned by this struct.
+struct TidList {
+  const uint64_t* words = nullptr;
+  const uint32_t* tids = nullptr;
+  uint32_t support = 0;
+
+  bool dense() const { return words != nullptr; }
+};
+
+/// Bump-pointer arena over 64-bit words with stack-discipline rewind, used
+/// for tid-list payloads during one mining call. Memory is grabbed in
+/// chunks (geometry: at least `chunk_words`, or the request size if
+/// larger); chunks are retained across Rewind so steady-state mining does
+/// not touch the heap at all.
+class TidArena {
+ public:
+  static constexpr size_t kDefaultChunkWords = size_t{1} << 14;  // 128 KiB
+
+  explicit TidArena(size_t chunk_words = kDefaultChunkWords)
+      : chunk_words_(chunk_words == 0 ? 1 : chunk_words) {}
+
+  TidArena(const TidArena&) = delete;
+  TidArena& operator=(const TidArena&) = delete;
+
+  /// Returns `words` (>= 1) uninitialized words. The common case is a pure
+  /// bump of the active chunk; chunk advance/growth is out of line.
+  uint64_t* AllocWords(size_t words) {
+    if (chunk_ < chunks_.size()) {
+      Chunk& chunk = chunks_[chunk_];
+      if (chunk.size - used_ >= words) {
+        uint64_t* ptr = chunk.data.get() + used_;
+        used_ += words;
+        return ptr;
+      }
+    }
+    return AllocWordsSlow(words);
+  }
+
+  /// Returns storage for `count` (>= 1) uint32 tids (padded to a word).
+  uint32_t* AllocTids(size_t count) {
+    return reinterpret_cast<uint32_t*>(AllocWords((count + 1) / 2));
+  }
+
+  /// A rewind point. Everything allocated after Position() is released by
+  /// Rewind() — pointers handed out in between become invalid.
+  struct Mark {
+    size_t chunk = 0;
+    size_t used = 0;
+  };
+  Mark Position() const { return Mark{chunk_, used_}; }
+  void Rewind(const Mark& mark) {
+    chunk_ = mark.chunk;
+    used_ = mark.used;
+  }
+
+  /// Shrinks the most recent allocation (which must start at `ptr` inside
+  /// the current chunk) to `words` words, releasing the tail.
+  void TrimTo(const uint64_t* ptr, size_t words) {
+    used_ = static_cast<size_t>(ptr - chunks_[chunk_].data.get()) + words;
+  }
+  void TrimToTids(const uint32_t* ptr, size_t count) {
+    TrimTo(reinterpret_cast<const uint64_t*>(ptr), (count + 1) / 2);
+  }
+
+  /// Total backing storage reserved across all chunks, in bytes.
+  size_t allocated_bytes() const { return total_words_ * sizeof(uint64_t); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<uint64_t[]> data;
+    size_t size = 0;
+  };
+
+  uint64_t* AllocWordsSlow(size_t words);
+
+  size_t chunk_words_;
+  std::vector<Chunk> chunks_;
+  size_t chunk_ = 0;  ///< Index of the chunk currently bump-allocated.
+  size_t used_ = 0;   ///< Words consumed in chunks_[chunk_].
+  size_t total_words_ = 0;
+};
+
+/// out[i] = a[i] & b[i] with a running popcount. Returns the popcount, or
+/// kAborted once popcount-so-far + 64 * remaining_words < min_support
+/// (the bound is evaluated at block granularity so the inner loop stays
+/// vectorizable; a completed scan that ends below min_support also returns
+/// kAborted). `out` must hold `num_words` words and may alias neither
+/// input. On x86-64 Linux this (and PopcountWords) dispatches at load time
+/// to an AVX2/POPCNT clone when the CPU has one.
+size_t IntersectDenseDense(const uint64_t* a, const uint64_t* b,
+                           size_t num_words, size_t min_support,
+                           uint64_t* out);
+
+/// Total popcount of `num_words` words (ISA-dispatched, see above).
+size_t PopcountWords(const uint64_t* words, size_t num_words);
+
+/// Intersection of two sorted unique tid arrays into `out` (capacity
+/// min(a_len, b_len)). Uses a linear merge, or a galloping probe of the
+/// longer list when the length ratio is >= kGallopRatio. Returns the
+/// result length, or kAborted once matches-so-far + remaining upper bound
+/// < min_support. A completed scan may return a value < min_support.
+size_t IntersectSparseSparse(const uint32_t* a, size_t a_len,
+                             const uint32_t* b, size_t b_len,
+                             size_t min_support, uint32_t* out);
+
+/// Intersection of a sorted sparse tid array with a dense bitset into
+/// `out` (capacity sparse_len). Abort semantics as above.
+size_t IntersectSparseDense(const uint32_t* sparse, size_t sparse_len,
+                            const uint64_t* words, size_t min_support,
+                            uint32_t* out);
+
+/// Expands the set bits of a bitset into sorted tids; `out` must hold the
+/// popcount. Returns the number of tids written.
+size_t DenseToSparse(const uint64_t* words, size_t num_words, uint32_t* out);
+
+/// First index >= `from` with v[index] >= value, found by exponential
+/// search followed by binary search (len if none). Exposed for tests.
+size_t GallopFirstGeq(const uint32_t* v, size_t len, size_t from,
+                      uint32_t value);
+
+}  // namespace culevo::mining
+
+#endif  // CULEVO_ANALYSIS_TIDLIST_H_

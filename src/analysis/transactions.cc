@@ -26,6 +26,7 @@ void TransactionSet::Add(std::vector<Item> items) {
 TransactionSet IngredientTransactions(const RecipeCorpus& corpus,
                                       CuisineId cuisine) {
   TransactionSet out;
+  out.Reserve(corpus.recipes_of(cuisine).size());
   for (uint32_t index : corpus.recipes_of(cuisine)) {
     const std::span<const IngredientId> ingredients =
         corpus.ingredients_of(index);
@@ -38,12 +39,17 @@ TransactionSet CategoryTransactions(const RecipeCorpus& corpus,
                                     CuisineId cuisine,
                                     const Lexicon& lexicon) {
   TransactionSet out;
+  out.Reserve(corpus.recipes_of(cuisine).size());
   for (uint32_t index : corpus.recipes_of(cuisine)) {
     bool present[kNumCategories] = {};
+    int distinct = 0;
     for (IngredientId id : corpus.ingredients_of(index)) {
-      present[static_cast<int>(lexicon.category(id))] = true;
+      bool& seen = present[static_cast<int>(lexicon.category(id))];
+      distinct += seen ? 0 : 1;
+      seen = true;
     }
     std::vector<Item> items;
+    items.reserve(static_cast<size_t>(distinct));
     for (int c = 0; c < kNumCategories; ++c) {
       if (present[c]) items.push_back(static_cast<Item>(c));
     }

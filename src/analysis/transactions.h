@@ -32,6 +32,11 @@ class TransactionSet {
   /// `items` must be sorted ascending and duplicate-free.
   void Add(std::vector<Item> items);
 
+  /// Reserves capacity for `num_transactions` Add calls.
+  void Reserve(size_t num_transactions) {
+    transactions_.reserve(num_transactions);
+  }
+
   size_t size() const { return transactions_.size(); }
   const std::vector<Item>& transaction(size_t i) const {
     return transactions_[i];

@@ -11,6 +11,7 @@ namespace culevo {
 
 TransactionSet RecipesToTransactions(const GeneratedRecipes& recipes) {
   TransactionSet out;
+  out.Reserve(recipes.size());
   for (const std::vector<IngredientId>& recipe : recipes) {
     out.Add(std::vector<Item>(recipe.begin(), recipe.end()));
   }
@@ -20,12 +21,17 @@ TransactionSet RecipesToTransactions(const GeneratedRecipes& recipes) {
 TransactionSet RecipesToCategoryTransactions(const GeneratedRecipes& recipes,
                                              const Lexicon& lexicon) {
   TransactionSet out;
+  out.Reserve(recipes.size());
   for (const std::vector<IngredientId>& recipe : recipes) {
     bool present[kNumCategories] = {};
+    int distinct = 0;
     for (IngredientId id : recipe) {
-      present[static_cast<int>(lexicon.category(id))] = true;
+      bool& seen = present[static_cast<int>(lexicon.category(id))];
+      distinct += seen ? 0 : 1;
+      seen = true;
     }
     std::vector<Item> items;
+    items.reserve(static_cast<size_t>(distinct));
     for (int c = 0; c < kNumCategories; ++c) {
       if (present[c]) items.push_back(static_cast<Item>(c));
     }
@@ -55,6 +61,13 @@ Result<SimulationResult> RunSimulation(const EvolutionModel& model,
   std::vector<RankFrequency> category_curves(n);
   std::vector<Status> statuses(n);
 
+  // When the replicas themselves run on `pool`, mining must stay serial
+  // inside each replica: ThreadPool::ParallelFor is not reentrant, and
+  // nesting it can deadlock once every worker blocks on inner tasks that
+  // are queued behind other blocked workers.
+  CombinationConfig mining = config.mining;
+  if (pool != nullptr) mining.mining_pool = nullptr;
+
   const auto run_replica = [&](size_t k) {
     GeneratedRecipes recipes;
     Status status;
@@ -69,9 +82,9 @@ Result<SimulationResult> RunSimulation(const EvolutionModel& model,
     {
       obs::ScopedTimer timer(mine_ms);
       ingredient_curves[k] =
-          CombinationCurve(RecipesToTransactions(recipes), config.mining);
+          CombinationCurve(RecipesToTransactions(recipes), mining);
       category_curves[k] = CombinationCurve(
-          RecipesToCategoryTransactions(recipes, lexicon), config.mining);
+          RecipesToCategoryTransactions(recipes, lexicon), mining);
     }
     replicas_run->Increment();
   };

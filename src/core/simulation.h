@@ -18,7 +18,11 @@ namespace culevo {
 struct SimulationConfig {
   int replicas = 100;
   uint64_t seed = 42;
-  CombinationConfig mining;  ///< 5% relative support, Eclat by default.
+  /// 5% relative support, Eclat by default. `mining.mining_pool` only
+  /// takes effect when RunSimulation itself runs serially (pool == null):
+  /// replica-level and root-class-level parallelism must not share one
+  /// pool, so RunSimulation clears the knob when replicas are parallel.
+  CombinationConfig mining;
 };
 
 /// Aggregated output of running one model on one cuisine context.

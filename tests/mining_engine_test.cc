@@ -1,0 +1,317 @@
+// Tests for the hybrid tid-list Eclat engine: intersection-kernel edge
+// cases (early-abort bound, galloping merge, arena trim/rewind) and a
+// seeded randomized differential suite asserting that the dense, sparse,
+// and parallel Eclat paths and Apriori all return identical itemsets.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/apriori.h"
+#include "analysis/eclat.h"
+#include "analysis/tidlist.h"
+#include "analysis/transactions.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace culevo {
+namespace {
+
+using mining::kAborted;
+using mining::TidArena;
+
+// ---------------------------------------------------------------------------
+// Arena
+
+TEST(TidArenaTest, RewindReleasesAndReusesStorage) {
+  TidArena arena(/*chunk_words=*/8);
+  uint64_t* a = arena.AllocWords(4);
+  const TidArena::Mark mark = arena.Position();
+  uint64_t* b = arena.AllocWords(4);
+  EXPECT_EQ(b, a + 4);
+  arena.Rewind(mark);
+  uint64_t* c = arena.AllocWords(2);
+  EXPECT_EQ(c, b);  // Same storage handed out again.
+  const size_t bytes = arena.allocated_bytes();
+  arena.Rewind(mark);
+  arena.AllocWords(4);
+  EXPECT_EQ(arena.allocated_bytes(), bytes);  // No new chunk needed.
+}
+
+TEST(TidArenaTest, OversizeRequestGetsDedicatedChunk) {
+  TidArena arena(/*chunk_words=*/4);
+  arena.AllocWords(3);
+  uint64_t* big = arena.AllocWords(100);  // Larger than a chunk.
+  ASSERT_NE(big, nullptr);
+  big[99] = 7;  // Must be addressable end to end.
+  EXPECT_GE(arena.allocated_bytes(), 104 * sizeof(uint64_t));
+}
+
+TEST(TidArenaTest, TrimToReleasesTailOfTopAllocation) {
+  TidArena arena(/*chunk_words=*/16);
+  uint64_t* a = arena.AllocWords(8);
+  arena.TrimTo(a, 2);
+  uint64_t* b = arena.AllocWords(2);
+  EXPECT_EQ(b, a + 2);
+}
+
+// ---------------------------------------------------------------------------
+// Dense kernel and its early-abort bound
+
+TEST(DenseKernelTest, ComputesIntersectionAndPopcount) {
+  const std::vector<uint64_t> a = {0b1111, 0, ~uint64_t{0}};
+  const std::vector<uint64_t> b = {0b1010, 0b1, ~uint64_t{0}};
+  std::vector<uint64_t> out(3);
+  const size_t s =
+      mining::IntersectDenseDense(a.data(), b.data(), 3, 1, out.data());
+  EXPECT_EQ(s, 2u + 64u);
+  EXPECT_EQ(out[0], uint64_t{0b1010});
+  EXPECT_EQ(out[1], uint64_t{0});
+  EXPECT_EQ(out[2], ~uint64_t{0});
+}
+
+TEST(DenseKernelTest, AbortsExactlyWhenBoundUnreachable) {
+  // Word 0 contributes 1 bit, words 1..3 can contribute at most 64 each.
+  // After word 0 the reachable maximum is 1 + 3*64 = 193: min_support 193
+  // must not abort there, 194 must.
+  std::vector<uint64_t> a(4, ~uint64_t{0});
+  std::vector<uint64_t> b = {uint64_t{1}, ~uint64_t{0}, ~uint64_t{0},
+                             ~uint64_t{0}};
+  std::vector<uint64_t> out(4);
+  EXPECT_EQ(mining::IntersectDenseDense(a.data(), b.data(), 4, 193,
+                                        out.data()),
+            1u + 3u * 64u);
+  EXPECT_EQ(mining::IntersectDenseDense(a.data(), b.data(), 4, 194,
+                                        out.data()),
+            kAborted);
+}
+
+TEST(DenseKernelTest, CompletedScanBelowSupportReportsAborted) {
+  // The bound check after the final word doubles as the support filter.
+  const std::vector<uint64_t> a = {0b11};
+  const std::vector<uint64_t> b = {0b01};
+  std::vector<uint64_t> out(1);
+  EXPECT_EQ(mining::IntersectDenseDense(a.data(), b.data(), 1, 2,
+                                        out.data()),
+            kAborted);
+}
+
+// ---------------------------------------------------------------------------
+// Sparse kernels
+
+std::vector<uint32_t> Sparse(std::vector<uint32_t> v) { return v; }
+
+size_t RunSparse(const std::vector<uint32_t>& a,
+                 const std::vector<uint32_t>& b, size_t min_support,
+                 std::vector<uint32_t>* out) {
+  out->assign(std::min(a.size(), b.size()) + 1, 0xDEADu);
+  return mining::IntersectSparseSparse(a.data(), a.size(), b.data(),
+                                       b.size(), min_support, out->data());
+}
+
+TEST(SparseKernelTest, EmptyInputs) {
+  std::vector<uint32_t> out;
+  EXPECT_EQ(RunSparse({}, {}, 0, &out), 0u);
+  EXPECT_EQ(RunSparse({}, {1, 2}, 0, &out), 0u);
+  // With min_support >= 1 an empty side is an immediate (early) abort.
+  EXPECT_EQ(RunSparse({}, {1, 2}, 1, &out), kAborted);
+}
+
+TEST(SparseKernelTest, DisjointAndSubset) {
+  std::vector<uint32_t> out;
+  EXPECT_EQ(RunSparse({1, 3, 5}, {0, 2, 4}, 0, &out), 0u);
+  EXPECT_EQ(RunSparse({2, 4}, {0, 1, 2, 3, 4, 5}, 1, &out), 2u);
+  EXPECT_EQ(out[0], 2u);
+  EXPECT_EQ(out[1], 4u);
+}
+
+TEST(SparseKernelTest, LinearMergeAbortsWhenBoundUnreachable) {
+  // Lists of length 4 with only 1 common element: min_support 2 must
+  // abort before the scan completes; min_support 1 completes with 1.
+  const std::vector<uint32_t> a = Sparse({0, 2, 4, 6});
+  const std::vector<uint32_t> b = Sparse({6, 7, 8, 9});
+  std::vector<uint32_t> out;
+  EXPECT_EQ(RunSparse(a, b, 1, &out), 1u);
+  EXPECT_EQ(out[0], 6u);
+  EXPECT_EQ(RunSparse(a, b, 5, &out), kAborted);
+}
+
+TEST(SparseKernelTest, GallopingPathMatchesLinear) {
+  // Size ratio >= kGallopRatio forces the galloping path.
+  std::vector<uint32_t> small = {7, 64, 300, 301, 999};
+  std::vector<uint32_t> large;
+  for (uint32_t i = 0; i < 1000; i += 3) large.push_back(i);  // 0,3,6,...
+  ASSERT_GE(large.size(), small.size() * mining::kGallopRatio);
+  std::vector<uint32_t> expected;
+  std::set_intersection(small.begin(), small.end(), large.begin(),
+                        large.end(), std::back_inserter(expected));
+  std::vector<uint32_t> out;
+  const size_t s = RunSparse(small, large, 0, &out);
+  ASSERT_EQ(s, expected.size());
+  EXPECT_TRUE(std::equal(expected.begin(), expected.end(), out.begin()));
+}
+
+TEST(SparseKernelTest, GallopingSubsetAndDisjoint) {
+  std::vector<uint32_t> large;
+  for (uint32_t i = 0; i < 400; ++i) large.push_back(2 * i);  // evens
+  std::vector<uint32_t> out;
+  // Subset: every probe hits.
+  EXPECT_EQ(RunSparse({0, 2, 798}, large, 3, &out), 3u);
+  // Disjoint (odds): galloping runs off the end without a match. A
+  // completed scan reports its (infrequent) count rather than an abort.
+  EXPECT_EQ(RunSparse({1, 3, 799}, large, 0, &out), 0u);
+  EXPECT_EQ(RunSparse({1, 3, 799}, large, 1, &out), 0u);
+  // With min_support 2 the bound (0 matches + 1 remaining probe) proves
+  // failure before the last probe: early abort.
+  EXPECT_EQ(RunSparse({1, 3, 799}, large, 2, &out), kAborted);
+}
+
+TEST(GallopFirstGeqTest, FindsFirstNotLessPosition) {
+  const std::vector<uint32_t> v = {2, 4, 4, 8, 16, 32};
+  EXPECT_EQ(mining::GallopFirstGeq(v.data(), v.size(), 0, 1), 0u);
+  EXPECT_EQ(mining::GallopFirstGeq(v.data(), v.size(), 0, 4), 1u);
+  EXPECT_EQ(mining::GallopFirstGeq(v.data(), v.size(), 2, 4), 2u);
+  EXPECT_EQ(mining::GallopFirstGeq(v.data(), v.size(), 0, 33), v.size());
+  EXPECT_EQ(mining::GallopFirstGeq(v.data(), v.size(), 6, 1), 6u);
+}
+
+TEST(MixedKernelTest, SparseAgainstDense) {
+  // Dense bitset over 130 tids with bits {0, 64, 128, 129} set.
+  std::vector<uint64_t> words(3, 0);
+  for (uint32_t tid : {0u, 64u, 128u, 129u}) {
+    words[tid >> 6] |= uint64_t{1} << (tid & 63);
+  }
+  const std::vector<uint32_t> sparse = {0, 1, 64, 129};
+  std::vector<uint32_t> out(sparse.size());
+  const size_t s = mining::IntersectSparseDense(
+      sparse.data(), sparse.size(), words.data(), 1, out.data());
+  ASSERT_EQ(s, 3u);
+  EXPECT_EQ(out[0], 0u);
+  EXPECT_EQ(out[1], 64u);
+  EXPECT_EQ(out[2], 129u);
+  EXPECT_EQ(mining::IntersectSparseDense(sparse.data(), sparse.size(),
+                                         words.data(), 4, out.data()),
+            kAborted);
+}
+
+TEST(DenseToSparseTest, RoundTripsSetBits) {
+  std::vector<uint64_t> words = {uint64_t{1} << 63, 0, 0b101};
+  std::vector<uint32_t> out(3);
+  ASSERT_EQ(mining::DenseToSparse(words.data(), words.size(), out.data()),
+            3u);
+  EXPECT_EQ(out[0], 63u);
+  EXPECT_EQ(out[1], 128u);
+  EXPECT_EQ(out[2], 130u);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential suite: every Eclat path vs Apriori
+
+bool SameItemsets(const std::vector<Itemset>& a,
+                  const std::vector<Itemset>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].items != b[i].items || a[i].support != b[i].support) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TransactionSet RandomTransactions(Rng* rng) {
+  const size_t num = 1 + rng->NextBounded(120);
+  const size_t universe = 4 + rng->NextBounded(36);
+  const size_t max_len = 1 + rng->NextBounded(10);
+  TransactionSet out;
+  out.Reserve(num);
+  for (size_t i = 0; i < num; ++i) {
+    std::vector<Item> t;
+    const size_t len = 1 + rng->NextBounded(max_len);
+    for (size_t j = 0; j < len; ++j) {
+      t.push_back(static_cast<Item>(rng->NextBounded(universe)));
+    }
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+    out.Add(std::move(t));
+  }
+  return out;
+}
+
+TEST(MiningEngineDifferentialTest, AllPathsAgreeOnRandomDatabases) {
+  ThreadPool pool(4);
+  EclatOptions dense_forced;
+  dense_forced.density_threshold = 0.0;
+  EclatOptions sparse_forced;
+  sparse_forced.density_threshold = 2.0;
+  EclatOptions parallel;
+  parallel.pool = &pool;
+
+  Rng rng(20240806);
+  // ~200 databases x several support thresholds each.
+  for (int round = 0; round < 200; ++round) {
+    const TransactionSet transactions = RandomTransactions(&rng);
+    const size_t n = transactions.size();
+    const size_t supports[] = {1, 2, 1 + n / 20, 1 + n / 4};
+    for (const size_t min_support : supports) {
+      const std::vector<Itemset> apriori =
+          MineApriori(transactions, min_support);
+      const std::vector<Itemset> hybrid =
+          MineEclat(transactions, min_support);
+      ASSERT_TRUE(SameItemsets(apriori, hybrid))
+          << "hybrid != apriori (round " << round << ", support "
+          << min_support << ")";
+      ASSERT_TRUE(SameItemsets(
+          apriori, MineEclat(transactions, min_support, dense_forced)))
+          << "dense != apriori (round " << round << ", support "
+          << min_support << ")";
+      ASSERT_TRUE(SameItemsets(
+          apriori, MineEclat(transactions, min_support, sparse_forced)))
+          << "sparse != apriori (round " << round << ", support "
+          << min_support << ")";
+      ASSERT_TRUE(SameItemsets(
+          apriori, MineEclat(transactions, min_support, parallel)))
+          << "parallel != apriori (round " << round << ", support "
+          << min_support << ")";
+    }
+  }
+}
+
+TEST(MiningEngineTest, ParallelPathHandlesDegenerateInputs) {
+  ThreadPool pool(2);
+  EclatOptions parallel;
+  parallel.pool = &pool;
+  TransactionSet empty;
+  EXPECT_TRUE(MineEclat(empty, 1, parallel).empty());
+  TransactionSet one;
+  one.Add({3});
+  const std::vector<Itemset> result = MineEclat(one, 1, parallel);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].items, (std::vector<Item>{3}));
+}
+
+TEST(MiningEngineTest, SparseHeavyDatabaseWithLowSupport) {
+  // Hot core items (dense lists) + a long tail (sparse lists) exercises
+  // the mixed kernels and the dense->sparse demotion at a realistic
+  // corpus shape.
+  Rng rng(7);
+  TransactionSet transactions;
+  transactions.Reserve(600);
+  for (int i = 0; i < 600; ++i) {
+    std::vector<Item> t = {0, 1};
+    for (int j = 0; j < 8; ++j) {
+      t.push_back(static_cast<Item>(2 + rng.NextBounded(400)));
+    }
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+    transactions.Add(std::move(t));
+  }
+  const std::vector<Itemset> apriori = MineApriori(transactions, 6);
+  const std::vector<Itemset> eclat = MineEclat(transactions, 6);
+  EXPECT_TRUE(SameItemsets(apriori, eclat));
+  EXPECT_FALSE(eclat.empty());
+}
+
+}  // namespace
+}  // namespace culevo
