@@ -61,6 +61,12 @@ class CopyMutateModel : public EvolutionModel {
   Status Generate(const CuisineContext& context, uint64_t seed,
                   GeneratedRecipes* out) const override;
 
+  /// Native flat-arena hot path; Generate() is a thin wrapper around it.
+  /// Draw-for-draw identical to the seed engine's RNG schedule, so fixed
+  /// seeds reproduce the original output exactly.
+  Status GenerateInto(const CuisineContext& context, uint64_t seed,
+                      RecipeStore* store) const override;
+
  private:
   const Lexicon* lexicon_;
   ModelParams params_;

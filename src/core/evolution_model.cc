@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/strings.h"
 
@@ -47,6 +48,74 @@ Result<CuisineContext> ContextFromCorpus(const RecipeCorpus& corpus,
         static_cast<double>(counts[i]) / static_cast<double>(n);
   }
   return context;
+}
+
+Status ValidateCuisineContext(const CuisineContext& context) {
+  if (context.target_recipes == 0) {
+    return Status::InvalidArgument("target_recipes must be positive");
+  }
+  if (context.ingredients.empty()) {
+    return Status::InvalidArgument("cuisine has no ingredients");
+  }
+  if (context.ingredients.size() >
+      static_cast<size_t>(std::numeric_limits<PoolPos>::max())) {
+    return Status::InvalidArgument(
+        "ingredient list exceeds the pool position width");
+  }
+  if (context.phi <= 0.0) {
+    return Status::InvalidArgument("phi must be positive");
+  }
+  if (context.mean_recipe_size <= 0) {
+    return Status::InvalidArgument("mean_recipe_size must be positive");
+  }
+  return Status::Ok();
+}
+
+Status EvolutionModel::GenerateInto(const CuisineContext& context,
+                                    uint64_t seed, RecipeStore* store) const {
+  GeneratedRecipes recipes;
+  CULEVO_RETURN_IF_ERROR(Generate(context, seed, &recipes));
+  return PackRecipes(recipes, context.ingredients, store);
+}
+
+void StoreToRecipes(const RecipeStore& store,
+                    const std::vector<IngredientId>& ingredients,
+                    GeneratedRecipes* out) {
+  out->clear();
+  out->reserve(store.num_recipes());
+  for (size_t i = 0; i < store.num_recipes(); ++i) {
+    const std::span<const PoolPos> positions = store.recipe(i);
+    std::vector<IngredientId> ids;
+    ids.reserve(positions.size());
+    for (PoolPos pos : positions) ids.push_back(ingredients[pos]);
+    std::sort(ids.begin(), ids.end());
+    out->push_back(std::move(ids));
+  }
+}
+
+Status PackRecipes(const GeneratedRecipes& recipes,
+                   const std::vector<IngredientId>& ingredients,
+                   RecipeStore* store) {
+  size_t items = 0;
+  for (const std::vector<IngredientId>& recipe : recipes) {
+    items += recipe.size();
+  }
+  store->Reset(recipes.size(), items);
+  for (const std::vector<IngredientId>& recipe : recipes) {
+    store->BeginRecipe();
+    for (IngredientId id : recipe) {
+      const auto it =
+          std::lower_bound(ingredients.begin(), ingredients.end(), id);
+      if (it == ingredients.end() || *it != id) {
+        return Status::InvalidArgument(
+            "recipe ingredient not in the context's ingredient list");
+      }
+      store->AppendToOpen(
+          static_cast<PoolPos>(it - ingredients.begin()));
+    }
+    store->Commit();
+  }
+  return Status::Ok();
 }
 
 Result<RecipeCorpus> RecipesToCorpus(const GeneratedRecipes& recipes,

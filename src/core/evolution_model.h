@@ -7,6 +7,7 @@
 
 #include "corpus/recipe_corpus.h"
 #include "core/fitness.h"
+#include "core/recipe_store.h"
 #include "lexicon/lexicon.h"
 #include "util/status.h"
 
@@ -32,6 +33,12 @@ struct CuisineContext {
 Result<CuisineContext> ContextFromCorpus(const RecipeCorpus& corpus,
                                          CuisineId cuisine);
 
+/// Checks the invariants every model needs of a context: positive target,
+/// non-empty ingredient list that fits PoolPos, positive φ, and positive
+/// s̄ (an s̄ of zero would ask the mutation loop to index into an empty
+/// recipe — an out-of-bounds read in release builds).
+Status ValidateCuisineContext(const CuisineContext& context);
+
 /// A generated recipe pool: one sorted-unique ingredient set per recipe.
 using GeneratedRecipes = std::vector<std::vector<IngredientId>>;
 
@@ -47,7 +54,31 @@ class EvolutionModel {
   /// Evolves context.target_recipes recipes.
   virtual Status Generate(const CuisineContext& context, uint64_t seed,
                           GeneratedRecipes* out) const = 0;
+
+  /// Flat-arena variant of Generate: evolves the same recipe pool for the
+  /// same (context, seed) but into `store` as context-ingredient positions
+  /// in draw order (unsorted), avoiding the per-recipe heap allocation of
+  /// the GeneratedRecipes format. This is the simulation hot path. The
+  /// base implementation falls back to Generate() + PackRecipes; the
+  /// built-in models override it with allocation-free native loops.
+  virtual Status GenerateInto(const CuisineContext& context, uint64_t seed,
+                              RecipeStore* store) const;
 };
+
+/// Converts a position store back to the GeneratedRecipes compat format:
+/// recipe i becomes `ingredients[pos]` for each position, sorted ascending
+/// (the format's sorted-set contract).
+void StoreToRecipes(const RecipeStore& store,
+                    const std::vector<IngredientId>& ingredients,
+                    GeneratedRecipes* out);
+
+/// Inverse of StoreToRecipes: packs id recipes into position form against
+/// `ingredients` (which must be sorted ascending, as CuisineContext
+/// requires). Returns InvalidArgument if a recipe mentions an id that is
+/// not in `ingredients`.
+Status PackRecipes(const GeneratedRecipes& recipes,
+                   const std::vector<IngredientId>& ingredients,
+                   RecipeStore* store);
 
 /// Packs generated recipes into a corpus (all under `cuisine`), e.g. to
 /// reuse the corpus-level analyses on model output.

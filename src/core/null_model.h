@@ -22,6 +22,10 @@ class NullModel : public EvolutionModel {
   Status Generate(const CuisineContext& context, uint64_t seed,
                   GeneratedRecipes* out) const override;
 
+  /// Native flat-arena hot path (see CopyMutateModel::GenerateInto).
+  Status GenerateInto(const CuisineContext& context, uint64_t seed,
+                      RecipeStore* store) const override;
+
  private:
   int initial_pool_;
 };

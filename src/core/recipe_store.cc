@@ -1,0 +1,15 @@
+#include "core/recipe_store.h"
+
+#include <algorithm>
+
+namespace culevo {
+
+void RecipeStore::SortCommitted() {
+  CULEVO_DCHECK(!open_);
+  for (size_t i = 0; i + 1 < offsets_.size(); ++i) {
+    std::sort(items_.begin() + static_cast<ptrdiff_t>(offsets_[i]),
+              items_.begin() + static_cast<ptrdiff_t>(offsets_[i + 1]));
+  }
+}
+
+}  // namespace culevo

@@ -1,7 +1,9 @@
 #include "core/simulation.h"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <span>
 
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
@@ -27,6 +29,48 @@ TransactionSet RecipesToCategoryTransactions(const GeneratedRecipes& recipes,
     int distinct = 0;
     for (IngredientId id : recipe) {
       bool& seen = present[static_cast<int>(lexicon.category(id))];
+      distinct += seen ? 0 : 1;
+      seen = true;
+    }
+    std::vector<Item> items;
+    items.reserve(static_cast<size_t>(distinct));
+    for (int c = 0; c < kNumCategories; ++c) {
+      if (present[c]) items.push_back(static_cast<Item>(c));
+    }
+    out.Add(std::move(items));
+  }
+  return out;
+}
+
+TransactionSet StoreTransactions(
+    const RecipeStore& store, const std::vector<IngredientId>& ingredients) {
+  TransactionSet out;
+  out.Reserve(store.num_recipes());
+  std::vector<Item> items;
+  for (size_t i = 0; i < store.num_recipes(); ++i) {
+    const std::span<const PoolPos> positions = store.recipe(i);
+    items.clear();
+    items.reserve(positions.size());
+    for (PoolPos pos : positions) {
+      items.push_back(static_cast<Item>(ingredients[pos]));
+    }
+    std::sort(items.begin(), items.end());
+    out.Add(std::vector<Item>(items.begin(), items.end()));
+  }
+  return out;
+}
+
+TransactionSet StoreCategoryTransactions(
+    const RecipeStore& store, const std::vector<IngredientId>& ingredients,
+    const Lexicon& lexicon) {
+  TransactionSet out;
+  out.Reserve(store.num_recipes());
+  for (size_t i = 0; i < store.num_recipes(); ++i) {
+    bool present[kNumCategories] = {};
+    int distinct = 0;
+    for (PoolPos pos : store.recipe(i)) {
+      bool& seen =
+          present[static_cast<int>(lexicon.category(ingredients[pos]))];
       distinct += seen ? 0 : 1;
       seen = true;
     }
@@ -69,11 +113,14 @@ Result<SimulationResult> RunSimulation(const EvolutionModel& model,
   if (pool != nullptr) mining.mining_pool = nullptr;
 
   const auto run_replica = [&](size_t k) {
-    GeneratedRecipes recipes;
+    // One flat store per replica: the whole generated pool is a single
+    // position buffer instead of target_recipes small vectors.
+    RecipeStore store;
     Status status;
     {
       obs::ScopedTimer timer(generate_ms);
-      status = model.Generate(context, DeriveSeed(config.seed, k), &recipes);
+      status =
+          model.GenerateInto(context, DeriveSeed(config.seed, k), &store);
     }
     if (!status.ok()) {
       statuses[k] = std::move(status);
@@ -81,10 +128,11 @@ Result<SimulationResult> RunSimulation(const EvolutionModel& model,
     }
     {
       obs::ScopedTimer timer(mine_ms);
-      ingredient_curves[k] =
-          CombinationCurve(RecipesToTransactions(recipes), mining);
+      ingredient_curves[k] = CombinationCurve(
+          StoreTransactions(store, context.ingredients), mining);
       category_curves[k] = CombinationCurve(
-          RecipesToCategoryTransactions(recipes, lexicon), mining);
+          StoreCategoryTransactions(store, context.ingredients, lexicon),
+          mining);
     }
     replicas_run->Increment();
   };

@@ -54,6 +54,18 @@ TransactionSet RecipesToTransactions(const GeneratedRecipes& recipes);
 TransactionSet RecipesToCategoryTransactions(const GeneratedRecipes& recipes,
                                              const Lexicon& lexicon);
 
+/// Builds the ingredient-id TransactionSet straight from a flat recipe
+/// store (positions resolved against `ingredients`, each transaction
+/// sorted). Equivalent to StoreToRecipes + RecipesToTransactions without
+/// materializing the intermediate GeneratedRecipes.
+TransactionSet StoreTransactions(const RecipeStore& store,
+                                 const std::vector<IngredientId>& ingredients);
+
+/// Category projection of StoreTransactions.
+TransactionSet StoreCategoryTransactions(
+    const RecipeStore& store, const std::vector<IngredientId>& ingredients,
+    const Lexicon& lexicon);
+
 }  // namespace culevo
 
 #endif  // CULEVO_CORE_SIMULATION_H_

@@ -75,8 +75,12 @@ CuisineProfile BuildCuisineProfile(const Lexicon& lexicon, CuisineId cuisine,
   }
   if (vocab.size() < target) {
     const uint32_t need = static_cast<uint32_t>(target - vocab.size());
-    std::vector<uint32_t> picks =
+    // All remaining-lexicon weights are >= 1 and need <= remaining.size(),
+    // so the draw cannot fail.
+    Result<std::vector<uint32_t>> picked =
         WeightedSampleWithoutReplacement(&rng, weights, need);
+    CULEVO_CHECK_OK(picked.status());
+    const std::vector<uint32_t>& picks = *picked;
     // Shuffle the picked tail so Zipf ranks are cuisine-specific (the
     // weighted sampler returns them in draw order, which is already
     // random, but make the intent explicit).

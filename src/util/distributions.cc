@@ -87,40 +87,78 @@ size_t DiscreteSampler::Sample(Rng* rng) const {
 
 std::vector<uint32_t> SampleWithoutReplacement(Rng* rng, uint32_t n,
                                                uint32_t k) {
-  CULEVO_CHECK(k <= n);
-  // Floyd's algorithm: O(k) expected insertions.
   std::vector<uint32_t> out;
-  out.reserve(k);
-  for (uint32_t j = n - k; j < n; ++j) {
-    const uint32_t t = static_cast<uint32_t>(rng->NextBounded(j + 1));
-    if (std::find(out.begin(), out.end(), t) == out.end()) {
-      out.push_back(t);
-    } else {
-      out.push_back(j);
-    }
-  }
+  SampleScratch scratch;
+  SampleWithoutReplacementInto(rng, n, k, &scratch, &out);
   return out;
 }
 
-std::vector<uint32_t> WeightedSampleWithoutReplacement(
+void SampleWithoutReplacementInto(Rng* rng, uint32_t n, uint32_t k,
+                                  SampleScratch* scratch,
+                                  std::vector<uint32_t>* out) {
+  CULEVO_CHECK(k <= n);
+  scratch->Reserve(n);
+  const size_t base = out->size();
+  out->reserve(base + k);
+  // Floyd's algorithm: each round draws t in [0, j] and takes t if unseen,
+  // else j (j itself cannot have been taken in an earlier round). The
+  // scratch mask makes the membership probe O(1).
+  for (uint32_t j = n - k; j < n; ++j) {
+    const uint32_t t = static_cast<uint32_t>(rng->NextBounded(j + 1));
+    const uint32_t pick = scratch->Test(t) ? j : t;
+    scratch->Set(pick);
+    out->push_back(pick);
+  }
+  // Restore the all-zero invariant so the scratch is reusable as-is.
+  for (size_t i = base; i < out->size(); ++i) scratch->Clear((*out)[i]);
+}
+
+Result<std::vector<uint32_t>> WeightedSampleWithoutReplacement(
     Rng* rng, const std::vector<double>& weights, uint32_t k) {
-  CULEVO_CHECK(k <= weights.size());
+  size_t positive = 0;
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) {
+      return Status::InvalidArgument("negative weight");
+    }
+    if (w > 0.0) {
+      ++positive;
+      total += w;
+    }
+  }
+  if (k > positive) {
+    return Status::InvalidArgument(
+        "cannot draw " + std::to_string(k) + " distinct indices from " +
+        std::to_string(positive) + " positive weights");
+  }
+
   std::vector<double> remaining = weights;
   std::vector<uint32_t> out;
   out.reserve(k);
   for (uint32_t round = 0; round < k; ++round) {
-    double total = std::accumulate(remaining.begin(), remaining.end(), 0.0);
-    CULEVO_CHECK(total > 0.0);
+    if (total <= 0.0) {
+      // Running-total drift cancelled to nothing while positive weights
+      // remain (k <= positive guarantees there are some): recompute.
+      total = 0.0;
+      for (const double w : remaining) total += w;
+    }
     double target = rng->NextDouble() * total;
-    size_t chosen = remaining.size() - 1;
+    size_t chosen = remaining.size();
+    size_t last_positive = remaining.size();
     for (size_t i = 0; i < remaining.size(); ++i) {
+      if (remaining[i] <= 0.0) continue;
+      last_positive = i;
       target -= remaining[i];
       if (target <= 0.0) {
         chosen = i;
         break;
       }
     }
+    // Floating-point drift can leave target marginally positive after the
+    // scan; fall back to the last selectable index, never a zero weight.
+    if (chosen == remaining.size()) chosen = last_positive;
     out.push_back(static_cast<uint32_t>(chosen));
+    total -= remaining[chosen];
     remaining[chosen] = 0.0;
   }
   return out;

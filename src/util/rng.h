@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "util/check.h"
+
 namespace culevo {
 
 /// SplitMix64 step: the standard 64-bit finalizing mixer. Used both as a
@@ -61,6 +63,10 @@ class Rng {
   }
 
   /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  /// Precondition: bound > 0 (DCHECK-enforced; a release build fed bound 0
+  /// returns 0, so callers on untrusted sizes must validate first — see
+  /// CopyMutateModel::Generate's parameter checks). Defined inline: this is
+  /// the single hottest call of the model-generation loop.
   uint64_t NextBounded(uint64_t bound);
 
   /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
@@ -76,6 +82,29 @@ class Rng {
 
   uint64_t s_[4];
 };
+
+inline uint64_t Rng::NextBounded(uint64_t bound) {
+  CULEVO_DCHECK(bound > 0);
+  // Lemire's nearly-divisionless algorithm.
+  uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+inline int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  CULEVO_DCHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
 
 }  // namespace culevo
 

@@ -130,12 +130,43 @@ TEST(SampleWithoutReplacementTest, CoversAllElements) {
   EXPECT_EQ(seen.size(), 10u);
 }
 
+TEST(SampleWithoutReplacementTest, IntoMatchesAllocatingVariant) {
+  SampleScratch scratch;
+  std::vector<uint32_t> buf;
+  for (const SwrParam p :
+       {SwrParam{1, 1}, SwrParam{10, 3}, SwrParam{721, 20},
+        SwrParam{1000, 500}}) {
+    Rng a(p.n * 17 + p.k);
+    Rng b(p.n * 17 + p.k);
+    const std::vector<uint32_t> allocating =
+        SampleWithoutReplacement(&a, p.n, p.k);
+    buf.clear();
+    SampleWithoutReplacementInto(&b, p.n, p.k, &scratch, &buf);
+    EXPECT_EQ(allocating, buf) << "n=" << p.n << " k=" << p.k;
+  }
+}
+
+TEST(SampleWithoutReplacementTest, ScratchStaysZeroAcrossCalls) {
+  SampleScratch scratch;
+  std::vector<uint32_t> buf;
+  Rng rng(12);
+  for (int round = 0; round < 50; ++round) {
+    buf.clear();
+    SampleWithoutReplacementInto(&rng, 100, 10, &scratch, &buf);
+  }
+  // If any bit leaked, a full draw of the range would miss some value.
+  buf.clear();
+  SampleWithoutReplacementInto(&rng, 100, 100, &scratch, &buf);
+  std::set<uint32_t> unique(buf.begin(), buf.end());
+  EXPECT_EQ(unique.size(), 100u);
+}
+
 TEST(WeightedSampleWithoutReplacementTest, DistinctRespectsZeroWeights) {
   Rng rng(10);
   const std::vector<double> weights = {0.0, 1.0, 2.0, 0.0, 3.0};
   for (int round = 0; round < 100; ++round) {
     const std::vector<uint32_t> sample =
-        WeightedSampleWithoutReplacement(&rng, weights, 3);
+        WeightedSampleWithoutReplacement(&rng, weights, 3).value();
     EXPECT_EQ(sample.size(), 3u);
     std::set<uint32_t> unique(sample.begin(), sample.end());
     EXPECT_EQ(unique.size(), 3u);
@@ -150,11 +181,38 @@ TEST(WeightedSampleWithoutReplacementTest, HigherWeightPickedFirstMoreOften) {
   int heavy_first = 0;
   const int n = 20000;
   for (int i = 0; i < n; ++i) {
-    if (WeightedSampleWithoutReplacement(&rng, weights, 1)[0] == 1) {
+    if (WeightedSampleWithoutReplacement(&rng, weights, 1).value()[0] == 1) {
       ++heavy_first;
     }
   }
   EXPECT_NEAR(static_cast<double>(heavy_first) / n, 10.0 / 11.0, 0.02);
+}
+
+// Regression: the seed implementation CHECK-crashed when k exceeded the
+// number of positive weights; it must report InvalidArgument instead.
+TEST(WeightedSampleWithoutReplacementTest, TooManyDrawsIsInvalidArgument) {
+  Rng rng(13);
+  const std::vector<double> weights = {0.0, 1.0, 0.0, 2.0};
+  const auto result = WeightedSampleWithoutReplacement(&rng, weights, 3);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WeightedSampleWithoutReplacementTest, NegativeWeightIsInvalidArgument) {
+  Rng rng(14);
+  const std::vector<double> weights = {1.0, -0.5, 2.0};
+  const auto result = WeightedSampleWithoutReplacement(&rng, weights, 1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WeightedSampleWithoutReplacementTest, ExactlyAllPositiveWeights) {
+  Rng rng(15);
+  const std::vector<double> weights = {0.0, 0.25, 4.0, 0.0, 1e-12};
+  const std::vector<uint32_t> sample =
+      WeightedSampleWithoutReplacement(&rng, weights, 3).value();
+  const std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique, (std::set<uint32_t>{1, 2, 4}));
 }
 
 }  // namespace
