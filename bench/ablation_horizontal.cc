@@ -27,7 +27,7 @@ int Run(int argc, char** argv) {
   bench::BenchReporter reporter("ablation_horizontal", options);
   const Lexicon& lexicon = WorldLexicon();
   reporter.BeginPhase("world_synthesis");
-  const RecipeCorpus corpus = bench::MakeWorld(options);
+  const RecipeCorpus corpus = bench::MakeWorld(options, &reporter);
   reporter.BeginPhase("migration_sweep");
 
   const std::vector<const char*> codes = {"ITA", "FRA", "GRC", "SP", "ME"};
@@ -37,8 +37,7 @@ int Run(int argc, char** argv) {
     const CuisineId cuisine = CuisineFromCode(code).value();
     Result<CuisineContext> context = ContextFromCorpus(corpus, cuisine);
     if (!context.ok()) {
-      std::cerr << context.status() << "\n";
-      return 1;
+      return reporter.Fail(context.status());
     }
     contexts.push_back(std::move(context).value());
     empirical.push_back(IngredientCombinationCurve(corpus, cuisine));
@@ -64,8 +63,7 @@ int Run(int argc, char** argv) {
     Result<HorizontalWorld> world =
         EvolveHorizontalWorld(contexts, lexicon, config);
     if (!world.ok()) {
-      std::cerr << world.status() << "\n";
-      return 1;
+      return reporter.Fail(world.status());
     }
     std::vector<RankFrequency> evolved;
     double mae_total = 0.0;

@@ -24,7 +24,7 @@ int Run(int argc, char** argv) {
   bench::BenchReporter reporter("ablation_mixture", options);
   const Lexicon& lexicon = WorldLexicon();
   reporter.BeginPhase("world_synthesis");
-  const RecipeCorpus corpus = bench::MakeWorld(options);
+  const RecipeCorpus corpus = bench::MakeWorld(options, &reporter);
   reporter.BeginPhase("mixture_sweep");
 
   SimulationConfig config;
@@ -41,8 +41,7 @@ int Run(int argc, char** argv) {
     Result<std::vector<SweepPoint>> sweep = SweepMixtureProb(
         corpus, cuisine, lexicon, probs, base, config);
     if (!sweep.ok()) {
-      std::cerr << sweep.status() << "\n";
-      return 1;
+      return reporter.Fail(sweep.status());
     }
     std::printf("\nCuisine %s:\n", code);
     TablePrinter table({"p(cross-category)", "MAE ingredient",

@@ -23,7 +23,7 @@ int Run(int argc, char** argv) {
   bench::BenchReporter reporter("ablation_mutations", options);
   const Lexicon& lexicon = WorldLexicon();
   reporter.BeginPhase("world_synthesis");
-  const RecipeCorpus corpus = bench::MakeWorld(options);
+  const RecipeCorpus corpus = bench::MakeWorld(options, &reporter);
   reporter.BeginPhase("mutation_count_sweep");
 
   SimulationConfig config;
@@ -40,8 +40,7 @@ int Run(int argc, char** argv) {
   Result<std::vector<SweepPoint>> m_sweep = SweepMutationCount(
       corpus, cuisine, lexicon, {1, 2, 3, 4, 6, 8, 12, 16}, base, config);
   if (!m_sweep.ok()) {
-    std::cerr << m_sweep.status() << "\n";
-    return 1;
+    return reporter.Fail(m_sweep.status());
   }
   TablePrinter m_table({"M", "MAE ingredient", "MAE category"});
   for (const SweepPoint& point : m_sweep.value()) {
@@ -58,8 +57,7 @@ int Run(int argc, char** argv) {
   Result<std::vector<SweepPoint>> r_sweep = SweepSizeMutationRate(
       corpus, cuisine, lexicon, {0.0, 0.05, 0.1, 0.2, 0.4}, base, config);
   if (!r_sweep.ok()) {
-    std::cerr << r_sweep.status() << "\n";
-    return 1;
+    return reporter.Fail(r_sweep.status());
   }
   TablePrinter r_table({"insert/delete rate", "MAE ingredient",
                         "MAE category"});

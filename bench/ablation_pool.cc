@@ -20,7 +20,7 @@ int Run(int argc, char** argv) {
   bench::BenchReporter reporter("ablation_pool", options);
   const Lexicon& lexicon = WorldLexicon();
   reporter.BeginPhase("world_synthesis");
-  const RecipeCorpus corpus = bench::MakeWorld(options);
+  const RecipeCorpus corpus = bench::MakeWorld(options, &reporter);
   reporter.BeginPhase("pool_size_sweep");
 
   SimulationConfig config;
@@ -38,8 +38,7 @@ int Run(int argc, char** argv) {
   Result<std::vector<SweepPoint>> sweep = SweepInitialPool(
       corpus, cuisine, lexicon, {5, 10, 20, 40, 80, 160}, base, config);
   if (!sweep.ok()) {
-    std::cerr << sweep.status() << "\n";
-    return 1;
+    return reporter.Fail(sweep.status());
   }
   TablePrinter m_table({"m", "MAE ingredient", "MAE category"});
   for (const SweepPoint& point : sweep.value()) {
@@ -55,8 +54,7 @@ int Run(int argc, char** argv) {
   Result<std::vector<FitResult>> fits =
       FitCopyMutateParameters(corpus, cuisine, lexicon, grid, config);
   if (!fits.ok()) {
-    std::cerr << fits.status() << "\n";
-    return 1;
+    return reporter.Fail(fits.status());
   }
   TablePrinter fit_table({"rank", "policy", "m", "M", "MAE ingredient"});
   for (size_t i = 0; i < fits->size() && i < 8; ++i) {

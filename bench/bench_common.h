@@ -85,23 +85,7 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
   return options;
 }
 
-/// Synthesizes the calibrated world corpus, logging the wall time.
-inline RecipeCorpus MakeWorld(const BenchOptions& options) {
-  SynthConfig config;
-  config.scale = options.scale;
-  config.seed = options.seed;
-  Stopwatch timer;
-  Result<RecipeCorpus> corpus =
-      SynthesizeWorldCorpus(WorldLexicon(), config);
-  if (!corpus.ok()) {
-    std::cerr << "world synthesis failed: " << corpus.status() << "\n";
-    std::exit(1);
-  }
-  std::printf("# world corpus: %zu recipes (scale %.2f) in %.2fs\n",
-              corpus->num_recipes(), options.scale,
-              timer.ElapsedSeconds());
-  return std::move(corpus).value();
-}
+class BenchReporter;
 
 /// Collects per-run telemetry — phase wall times, scalar results, and the
 /// reproduced series — and writes the BENCH_<name>.json document when
@@ -159,7 +143,23 @@ class BenchReporter {
   /// document (including a full metrics-registry snapshot). Returns the
   /// process exit code: 0 on success, 1 if the JSON file could not be
   /// written.
-  int Finish() {
+  int Finish() { return FinishInternal(nullptr); }
+
+  /// Error exit: the workload failed mid-run. Prints the status, and with
+  /// --json still writes a complete, valid telemetry document whose
+  /// top-level `"error"` field holds the status — so automation never
+  /// finds a stale BENCH_*.json from a previous run next to a failed one
+  /// (the write itself is atomic, see WriteFileAtomic). Returns the
+  /// nonzero process exit code.
+  int Fail(const Status& status) {
+    std::cerr << name_ << " failed: " << status << "\n";
+    const std::string error = status.ToString();
+    FinishInternal(&error);
+    return 1;
+  }
+
+ private:
+  int FinishInternal(const std::string* error) {
     EndPhase();
     if (options_.json_path.empty()) return 0;
 
@@ -169,6 +169,10 @@ class BenchReporter {
     json.String(name_);
     json.Key("schema_version");
     json.Int(1);
+    if (error != nullptr) {
+      json.Key("error");
+      json.String(*error);
+    }
 
     json.Key("options");
     json.BeginObject();
@@ -229,7 +233,6 @@ class BenchReporter {
     return 0;
   }
 
- private:
   std::string name_;
   const BenchOptions& options_;
   std::vector<std::pair<std::string, double>> phases_;
@@ -239,6 +242,29 @@ class BenchReporter {
   Stopwatch phase_watch_;
   Stopwatch total_;
 };
+
+/// Synthesizes the calibrated world corpus, logging the wall time. On
+/// failure the process exits nonzero — through `reporter->Fail` when a
+/// reporter is supplied, so a --json run still leaves a valid document
+/// with an `"error"` field instead of a stale file from a previous run.
+inline RecipeCorpus MakeWorld(const BenchOptions& options,
+                              BenchReporter* reporter = nullptr) {
+  SynthConfig config;
+  config.scale = options.scale;
+  config.seed = options.seed;
+  Stopwatch timer;
+  Result<RecipeCorpus> corpus =
+      SynthesizeWorldCorpus(WorldLexicon(), config);
+  if (!corpus.ok()) {
+    if (reporter != nullptr) std::exit(reporter->Fail(corpus.status()));
+    std::cerr << "world synthesis failed: " << corpus.status() << "\n";
+    std::exit(1);
+  }
+  std::printf("# world corpus: %zu recipes (scale %.2f) in %.2fs\n",
+              corpus->num_recipes(), options.scale,
+              timer.ElapsedSeconds());
+  return std::move(corpus).value();
+}
 
 }  // namespace culevo::bench
 

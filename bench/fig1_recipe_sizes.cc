@@ -44,7 +44,7 @@ int Run(int argc, char** argv) {
   bench::BenchOptions options = bench::ParseOptions(argc, argv);
   bench::BenchReporter reporter("fig1_recipe_sizes", options);
   reporter.BeginPhase("world_synthesis");
-  const RecipeCorpus corpus = bench::MakeWorld(options);
+  const RecipeCorpus corpus = bench::MakeWorld(options, &reporter);
   reporter.BeginPhase("statistics");
 
   std::printf("\n== Fig. 1: recipe size distributions ==\n\n");

@@ -23,7 +23,7 @@ int Run(int argc, char** argv) {
   bench::BenchReporter reporter("fig2_category_usage", options);
   const Lexicon& lexicon = WorldLexicon();
   reporter.BeginPhase("world_synthesis");
-  const RecipeCorpus corpus = bench::MakeWorld(options);
+  const RecipeCorpus corpus = bench::MakeWorld(options, &reporter);
   reporter.BeginPhase("category_usage");
 
   const auto matrix = CategoryUsageMatrix(corpus, lexicon);

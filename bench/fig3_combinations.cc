@@ -85,7 +85,7 @@ int Run(int argc, char** argv) {
   bench::BenchReporter reporter("fig3_combinations", options);
   const Lexicon& lexicon = WorldLexicon();
   reporter.BeginPhase("world_synthesis");
-  const RecipeCorpus corpus = bench::MakeWorld(options);
+  const RecipeCorpus corpus = bench::MakeWorld(options, &reporter);
   reporter.BeginPhase("mining");
 
   std::vector<RankFrequency> ingredient_curves;

@@ -37,7 +37,7 @@ int Run(int argc, char** argv) {
   bench::BenchReporter reporter("fig4_models", options);
   const Lexicon& lexicon = WorldLexicon();
   reporter.BeginPhase("world_synthesis");
-  const RecipeCorpus corpus = bench::MakeWorld(options);
+  const RecipeCorpus corpus = bench::MakeWorld(options, &reporter);
   reporter.BeginPhase("simulation");
 
   const auto cm_r = MakeCmR(&lexicon);
@@ -91,8 +91,7 @@ int Run(int argc, char** argv) {
     Result<CuisineEvaluation> ev =
         EvaluateCuisine(corpus, cuisine, lexicon, models, config);
     if (!ev.ok()) {
-      std::cerr << CuisineAt(cuisine).code << ": " << ev.status() << "\n";
-      return 1;
+      return reporter.Fail(ev.status());
     }
     const CuisineEvaluation& evaluation = ev.value();
     const size_t best = evaluation.BestByIngredientMae();
@@ -205,8 +204,7 @@ int Run(int argc, char** argv) {
   if (!details_path.empty()) {
     Status status = WriteStringToFile(details_path, std::move(json).Take());
     if (!status.ok()) {
-      std::cerr << status << "\n";
-      return 1;
+      return reporter.Fail(status);
     }
     std::printf("\nDetailed JSON results written to %s\n",
                 details_path.c_str());

@@ -129,7 +129,7 @@ int main(int argc, char** argv) {
 
   bench::BenchReporter reporter("perf_mining", options);
   reporter.BeginPhase("workload_build");
-  const RecipeCorpus corpus = bench::MakeWorld(options);
+  const RecipeCorpus corpus = bench::MakeWorld(options, &reporter);
   std::vector<Workload> workloads;
   for (const double fraction : {0.25, 0.50, 1.00}) {
     Workload w;

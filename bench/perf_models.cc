@@ -218,7 +218,7 @@ int main(int argc, char** argv) {
   bench::BenchReporter reporter("perf_models", options);
   reporter.BeginPhase("workload_build");
   const Lexicon& lexicon = WorldLexicon();
-  const RecipeCorpus corpus = bench::MakeWorld(options);
+  const RecipeCorpus corpus = bench::MakeWorld(options, &reporter);
   Result<CuisineContext> ita =
       ContextFromCorpus(corpus, CuisineFromCode("ITA").value());
   CULEVO_CHECK_OK(ita.status());

@@ -26,7 +26,7 @@ int Run(int argc, char** argv) {
   bench::BenchReporter reporter("table1_statistics", options);
   const Lexicon& lexicon = WorldLexicon();
   reporter.BeginPhase("world_synthesis");
-  const RecipeCorpus corpus = bench::MakeWorld(options);
+  const RecipeCorpus corpus = bench::MakeWorld(options, &reporter);
   reporter.BeginPhase("statistics");
 
   std::printf("\n== Table I: cuisine statistics and overrepresented "

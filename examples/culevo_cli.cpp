@@ -10,8 +10,12 @@
 //
 // Common flags: --scale, --replicas, --seed (as in the bench harness).
 // Pass --metrics to dump the process metrics registry (counters, gauges,
-// latency histograms) as JSON on exit.
+// latency histograms) as JSON on exit. Pass --timeout-ms <n> to bound the
+// whole run with a deadline; Ctrl-C (SIGINT) requests a cooperative
+// cancel — either way the tool exits nonzero with Cancelled /
+// DeadlineExceeded instead of being killed mid-write.
 
+#include <csignal>
 #include <iostream>
 
 #include "obs/metrics.h"
@@ -28,6 +32,7 @@
 #include "lexicon/lexicon_io.h"
 #include "lexicon/world_lexicon.h"
 #include "synth/generator.h"
+#include "util/cancel.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/strings.h"
@@ -37,12 +42,26 @@ namespace {
 
 using namespace culevo;
 
+// Process-wide cancellation token. SIGINT trips it (CancelToken::Cancel is
+// a relaxed atomic store, so it is async-signal-safe) and --timeout-ms
+// arms its deadline; the long-running subcommands poll it at replica /
+// root-class granularity.
+CancelToken& GlobalCancel() {
+  static CancelToken token;
+  return token;
+}
+
+extern "C" void HandleSigint(int /*signum*/) { GlobalCancel().Cancel(); }
+
 int Usage() {
   std::cerr
       << "usage: culevo_cli <stats|evaluate|generate|ingest|export-corpus|"
          "export-lexicon> [flags]\n"
          "common flags: --scale <0..1> --replicas <n> --seed <n> "
-         "--metrics (dump metrics registry JSON on exit)\n";
+         "--timeout-ms <n> (deadline for the whole run) "
+         "--metrics (dump metrics registry JSON on exit)\n"
+         "evaluate flags: --cuisine <code> --tolerate <k> (continue unless "
+         "more than k replicas fail) --retries <n> (per-replica retries)\n";
   return 2;
 }
 
@@ -95,6 +114,14 @@ int RunEvaluate(const FlagParser& flags) {
   SimulationConfig config;
   config.replicas = static_cast<int>(flags.GetInt("replicas", 10));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.cancel = &GlobalCancel();
+  const int tolerate = static_cast<int>(flags.GetInt("tolerate", 0));
+  if (tolerate > 0) {
+    config.failure_policy = FailurePolicy::kTolerateK;
+    config.tolerate_k = tolerate;
+  }
+  config.max_replica_retries =
+      static_cast<int>(flags.GetInt("retries", 0));
   Result<CuisineEvaluation> evaluation = EvaluateCuisine(
       *corpus, cuisine.value(), lexicon,
       {cm_r.get(), cm_c.get(), cm_m.get(), &nm}, config);
@@ -253,7 +280,16 @@ int main(int argc, char** argv) {
     std::cerr << s << "\n";
     return 2;
   }
-  const int rc = Dispatch(flags);
+  std::signal(SIGINT, HandleSigint);
+  const long long timeout_ms = flags.GetInt("timeout-ms", 0);
+  if (timeout_ms > 0) {
+    GlobalCancel().set_deadline(Deadline::AfterMillis(timeout_ms));
+  }
+  int rc = Dispatch(flags);
+  if (Status s = GlobalCancel().Check(); !s.ok()) {
+    std::cerr << s << "\n";
+    if (rc == 0) rc = 1;
+  }
   if (flags.GetBool("metrics", false)) {
     std::cout << obs::MetricsSnapshotToJson(
                      obs::MetricsRegistry::Get().Snapshot())

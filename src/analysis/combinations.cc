@@ -22,6 +22,7 @@ std::vector<Itemset> MineCombinations(const TransactionSet& transactions,
     case MinerKind::kEclat: {
       EclatOptions options;
       options.pool = config.mining_pool;
+      options.cancel = config.cancel;
       return MineEclat(transactions, support, options);
     }
     case MinerKind::kApriori:

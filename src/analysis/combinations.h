@@ -11,6 +11,7 @@
 
 namespace culevo {
 
+class CancelToken;
 class ThreadPool;
 
 /// Which frequent-itemset algorithm to run.
@@ -29,6 +30,10 @@ struct CombinationConfig {
   /// are mined in parallel on this pool. Leave null when the surrounding
   /// computation already runs on the same pool (see RunSimulation).
   ThreadPool* mining_pool = nullptr;
+  /// Polled by the Eclat root loop (see EclatOptions::cancel): a tripped
+  /// token makes the mined result a partial prefix, which the caller must
+  /// detect and discard. Null = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Converts a relative support into an absolute transaction count

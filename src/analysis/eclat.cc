@@ -10,6 +10,7 @@
 #include "analysis/tidlist.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
+#include "util/cancel.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -373,7 +374,7 @@ std::vector<Itemset> MineEclat(const TransactionSet& transactions,
         TidArena::kDefaultChunkWords, std::max<size_t>(64, 16 * num_words));
     std::vector<std::vector<Itemset>> per_root(roots.size());
     std::mutex merge_mu;
-    options.pool->ParallelFor(roots.size(), [&](size_t i) {
+    const auto mine_root = [&](size_t i) {
       TidArena arena(class_chunk_words);
       ClassMiner miner(&arena, num_words, min_support_count,
                        dense_min_support, &per_root[i]);
@@ -381,7 +382,8 @@ std::vector<Itemset> MineEclat(const TransactionSet& transactions,
       std::lock_guard<std::mutex> lock(merge_mu);
       stats.Accumulate(miner.stats());
       arena_bytes += static_cast<int64_t>(arena.allocated_bytes());
-    });
+    };
+    options.pool->ParallelFor(roots.size(), mine_root, options.cancel);
     size_t total = 0;
     for (const std::vector<Itemset>& part : per_root) total += part.size();
     result.reserve(total);
@@ -391,7 +393,10 @@ std::vector<Itemset> MineEclat(const TransactionSet& transactions,
   } else {
     ClassMiner miner(&root_arena, num_words, min_support_count,
                      dense_min_support, &result);
-    for (size_t i = 0; i < roots.size(); ++i) miner.MineFrom(roots, i);
+    for (size_t i = 0; i < roots.size(); ++i) {
+      if (CancelToken::ShouldStop(options.cancel)) break;
+      miner.MineFrom(roots, i);
+    }
     stats.Accumulate(miner.stats());
     arena_bytes = static_cast<int64_t>(root_arena.allocated_bytes());
   }

@@ -7,6 +7,7 @@
 
 namespace culevo {
 
+class CancelToken;
 class ThreadPool;
 
 /// Tuning knobs for the Eclat engine. The defaults are what the pipeline
@@ -19,6 +20,14 @@ struct EclatOptions {
   /// Must not be the pool this call itself is running on: ThreadPool::
   /// ParallelFor is not reentrant and nested use can deadlock.
   ThreadPool* pool = nullptr;
+
+  /// When non-null, the miner polls this token between root equivalence
+  /// classes (the cancellation granule) and stops descending into new
+  /// ones once it trips. The returned itemsets are then a PREFIX of the
+  /// mined classes, not the full answer — callers that pass a token are
+  /// expected to detect the trip themselves (CancelToken::Check) and
+  /// discard or label the partial result.
+  const CancelToken* cancel = nullptr;
 
   /// A tid list with support >= ceil(density_threshold * num_transactions)
   /// is stored as a dense bitset, below that as a sorted sparse uint32

@@ -7,6 +7,8 @@
 
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
+#include "util/failpoint.h"
+#include "util/json.h"
 #include "util/rng.h"
 
 namespace culevo {
@@ -84,6 +86,44 @@ TransactionSet StoreCategoryTransactions(
   return out;
 }
 
+int RunReport::total_retries() const {
+  int total = 0;
+  for (const ReplicaIncident& incident : incidents) {
+    total += incident.retries;
+  }
+  return total;
+}
+
+std::string RunReportToJson(const RunReport& report) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("replicas_requested");
+  json.Int(report.replicas_requested);
+  json.Key("replicas_succeeded");
+  json.Int(report.replicas_succeeded);
+  json.Key("replicas_failed");
+  json.Int(report.replicas_failed);
+  json.Key("total_retries");
+  json.Int(report.total_retries());
+  json.Key("degraded");
+  json.Bool(report.degraded());
+  json.Key("incidents");
+  json.BeginArray();
+  for (const ReplicaIncident& incident : report.incidents) {
+    json.BeginObject();
+    json.Key("replica");
+    json.Int(incident.replica);
+    json.Key("status");
+    json.String(incident.status.ToString());
+    json.Key("retries");
+    json.Int(incident.retries);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return std::move(json).Take();
+}
+
 Result<SimulationResult> RunSimulation(const EvolutionModel& model,
                                        const CuisineContext& context,
                                        const Lexicon& lexicon,
@@ -92,9 +132,21 @@ Result<SimulationResult> RunSimulation(const EvolutionModel& model,
   if (config.replicas <= 0) {
     return Status::InvalidArgument("replicas must be positive");
   }
+  if (config.tolerate_k < 0) {
+    return Status::InvalidArgument("tolerate_k must be >= 0");
+  }
+  if (config.max_replica_retries < 0) {
+    return Status::InvalidArgument("max_replica_retries must be >= 0");
+  }
 
   static obs::Counter* replicas_run =
       obs::MetricsRegistry::Get().counter("sim.replicas_run");
+  static obs::Counter* replica_failures =
+      obs::MetricsRegistry::Get().counter("sim.replica.failures");
+  static obs::Counter* replica_retries =
+      obs::MetricsRegistry::Get().counter("sim.replica.retries");
+  static obs::Counter* runs_degraded =
+      obs::MetricsRegistry::Get().counter("sim.runs_degraded");
   static obs::Histogram* generate_ms =
       obs::MetricsRegistry::Get().histogram("sim.replica.generate_ms");
   static obs::Histogram* mine_ms =
@@ -104,6 +156,7 @@ Result<SimulationResult> RunSimulation(const EvolutionModel& model,
   std::vector<RankFrequency> ingredient_curves(n);
   std::vector<RankFrequency> category_curves(n);
   std::vector<Status> statuses(n);
+  std::vector<int> retries(n, 0);
 
   // When the replicas themselves run on `pool`, mining must stay serial
   // inside each replica: ThreadPool::ParallelFor is not reentrant, and
@@ -111,46 +164,117 @@ Result<SimulationResult> RunSimulation(const EvolutionModel& model,
   // are queued behind other blocked workers.
   CombinationConfig mining = config.mining;
   if (pool != nullptr) mining.mining_pool = nullptr;
+  mining.cancel = config.cancel;
 
   const auto run_replica = [&](size_t k) {
-    // One flat store per replica: the whole generated pool is a single
-    // position buffer instead of target_recipes small vectors.
-    RecipeStore store;
-    Status status;
-    {
-      obs::ScopedTimer timer(generate_ms);
-      status =
-          model.GenerateInto(context, DeriveSeed(config.seed, k), &store);
-    }
-    if (!status.ok()) {
-      statuses[k] = std::move(status);
+    if (CancelToken::ShouldStop(config.cancel)) {
+      statuses[k] = CancelToken::Check(config.cancel);
       return;
     }
-    {
-      obs::ScopedTimer timer(mine_ms);
-      ingredient_curves[k] = CombinationCurve(
-          StoreTransactions(store, context.ingredients), mining);
-      category_curves[k] = CombinationCurve(
-          StoreCategoryTransactions(store, context.ingredients, lexicon),
-          mining);
+    Status status;
+    int attempt = 0;
+    for (;;) {
+      // Attempt 0 is the canonical replica seed; retries re-derive from
+      // it so a recovered replica is deterministic in (seed, k, attempt)
+      // and independent of which thread reruns it.
+      const uint64_t replica_seed =
+          attempt == 0 ? DeriveSeed(config.seed, k)
+                       : DeriveSeed(DeriveSeed(config.seed, k),
+                                    static_cast<uint64_t>(attempt));
+      // One flat store per attempt: the whole generated pool is a single
+      // position buffer instead of target_recipes small vectors.
+      RecipeStore store;
+      status = FailpointCheck("sim.replica.generate");
+      if (status.ok()) {
+        obs::ScopedTimer timer(generate_ms);
+        status = model.GenerateInto(context, replica_seed, &store);
+      }
+      if (status.ok()) {
+        status = FailpointCheck("sim.replica.mine");
+        if (status.ok()) {
+          obs::ScopedTimer timer(mine_ms);
+          ingredient_curves[k] = CombinationCurve(
+              StoreTransactions(store, context.ingredients), mining);
+          category_curves[k] = CombinationCurve(
+              StoreCategoryTransactions(store, context.ingredients,
+                                        lexicon),
+              mining);
+        }
+      }
+      if (status.ok() || attempt >= config.max_replica_retries ||
+          CancelToken::ShouldStop(config.cancel)) {
+        break;
+      }
+      ++attempt;
     }
-    replicas_run->Increment();
+    retries[k] = attempt;
+    statuses[k] = std::move(status);
+    if (statuses[k].ok()) replicas_run->Increment();
   };
 
   if (pool != nullptr) {
-    pool->ParallelFor(n, run_replica);
+    pool->ParallelFor(n, run_replica, config.cancel);
   } else {
-    for (size_t k = 0; k < n; ++k) run_replica(k);
+    for (size_t k = 0; k < n; ++k) {
+      if (CancelToken::ShouldStop(config.cancel)) break;
+      run_replica(k);
+    }
   }
 
-  for (const Status& status : statuses) {
-    if (!status.ok()) return status;
+  // A tripped token invalidates the aggregate: pending replicas were
+  // skipped, so report the trip instead of a silently-partial result.
+  if (Status cancelled = CancelToken::Check(config.cancel);
+      !cancelled.ok()) {
+    return cancelled;
+  }
+
+  RunReport report;
+  report.replicas_requested = config.replicas;
+  const Status* first_failure = nullptr;
+  for (size_t k = 0; k < n; ++k) {
+    if (statuses[k].ok()) {
+      ++report.replicas_succeeded;
+    } else {
+      ++report.replicas_failed;
+      if (first_failure == nullptr) first_failure = &statuses[k];
+    }
+    if (!statuses[k].ok() || retries[k] > 0) {
+      report.incidents.push_back(
+          ReplicaIncident{static_cast<int>(k), statuses[k], retries[k]});
+    }
+  }
+  replica_failures->Increment(report.replicas_failed);
+  replica_retries->Increment(report.total_retries());
+
+  if (report.replicas_failed > 0) {
+    if (config.failure_policy == FailurePolicy::kFailFast ||
+        report.replicas_failed > config.tolerate_k ||
+        report.replicas_succeeded == 0) {
+      return *first_failure;
+    }
+    runs_degraded->Increment();
   }
 
   SimulationResult result;
-  result.ingredient_curve = AverageRankFrequencies(ingredient_curves);
-  result.category_curve = AverageRankFrequencies(category_curves);
+  if (!report.degraded()) {
+    result.ingredient_curve = AverageRankFrequencies(ingredient_curves);
+    result.category_curve = AverageRankFrequencies(category_curves);
+  } else {
+    // Aggregate the survivors only, so a lost replica dilutes nothing.
+    std::vector<RankFrequency> ok_ingredient;
+    std::vector<RankFrequency> ok_category;
+    ok_ingredient.reserve(static_cast<size_t>(report.replicas_succeeded));
+    ok_category.reserve(static_cast<size_t>(report.replicas_succeeded));
+    for (size_t k = 0; k < n; ++k) {
+      if (!statuses[k].ok()) continue;
+      ok_ingredient.push_back(ingredient_curves[k]);
+      ok_category.push_back(category_curves[k]);
+    }
+    result.ingredient_curve = AverageRankFrequencies(ok_ingredient);
+    result.category_curve = AverageRankFrequencies(ok_category);
+  }
   result.replica_ingredient_curves = std::move(ingredient_curves);
+  result.report = std::move(report);
   return result;
 }
 

@@ -2,16 +2,58 @@
 #define CULEVO_CORE_SIMULATION_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "analysis/combinations.h"
 #include "analysis/rank_frequency.h"
 #include "core/evolution_model.h"
 #include "lexicon/lexicon.h"
+#include "util/cancel.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace culevo {
+
+/// What RunSimulation does when individual replicas fail.
+enum class FailurePolicy {
+  /// Any replica failure fails the whole run (the pre-fault-tolerance
+  /// behaviour). Completed replicas are discarded.
+  kFailFast,
+  /// Up to `SimulationConfig::tolerate_k` replicas may fail permanently;
+  /// the run degrades to aggregating the survivors and still returns OK,
+  /// with the casualties listed in the RunReport.
+  kTolerateK,
+};
+
+/// One replica that needed attention: its index, the last Status it
+/// produced (OK when a retry eventually succeeded), and how many retry
+/// attempts were spent on it.
+struct ReplicaIncident {
+  int replica = -1;
+  Status status;
+  int retries = 0;
+};
+
+/// Fault ledger of one RunSimulation call, exported alongside the result
+/// (and convertible to JSON for telemetry via RunReportToJson).
+struct RunReport {
+  int replicas_requested = 0;
+  int replicas_succeeded = 0;
+  int replicas_failed = 0;
+  /// Every replica that failed at least one attempt, in replica order.
+  /// Entries with an OK status recovered via retry; non-OK entries are
+  /// permanent failures (counted in replicas_failed).
+  std::vector<ReplicaIncident> incidents;
+
+  /// True when the aggregate was computed from fewer replicas than asked.
+  bool degraded() const { return replicas_failed > 0; }
+  /// Total retry attempts across all replicas.
+  int total_retries() const;
+};
+
+/// Compact JSON rendering of a RunReport (for bench/CLI telemetry).
+std::string RunReportToJson(const RunReport& report);
 
 /// Multi-replica simulation settings. The paper aggregates 100 replicas;
 /// benches default lower for the single-core harness and expose a flag.
@@ -22,18 +64,42 @@ struct SimulationConfig {
   /// takes effect when RunSimulation itself runs serially (pool == null):
   /// replica-level and root-class-level parallelism must not share one
   /// pool, so RunSimulation clears the knob when replicas are parallel.
+  /// `mining.cancel` is overwritten with `cancel` below.
   CombinationConfig mining;
+
+  /// Cooperative cancellation/deadline token, polled at replica
+  /// granularity (and root-class granularity inside mining). Null = run
+  /// to completion. A tripped token aborts the run with kCancelled /
+  /// kDeadlineExceeded; completed replicas are discarded.
+  const CancelToken* cancel = nullptr;
+
+  /// Replica fault handling; see FailurePolicy.
+  FailurePolicy failure_policy = FailurePolicy::kFailFast;
+  /// Maximum permanently-failed replicas tolerated under kTolerateK.
+  int tolerate_k = 0;
+  /// Retry budget per replica. Attempt a > 0 of replica k reruns it with
+  /// the derived retry seed DeriveSeed(DeriveSeed(seed, k), a), so
+  /// retries are deterministic, decorrelated from the first attempt, and
+  /// independent of scheduling (each replica retries inside its own
+  /// task).
+  int max_replica_retries = 0;
 };
 
 /// Aggregated output of running one model on one cuisine context.
 struct SimulationResult {
   /// Rank-frequency of frequent ingredient combinations, averaged
-  /// position-wise across replicas (the paper's "aggregated statistics").
+  /// position-wise across the successful replicas (the paper's
+  /// "aggregated statistics").
   RankFrequency ingredient_curve;
   /// Same for category combinations.
   RankFrequency category_curve;
-  /// Per-replica ingredient curves (for dispersion analysis).
+  /// Per-replica ingredient curves (for dispersion analysis), indexed by
+  /// replica. Under kTolerateK a failed replica's slot holds an empty
+  /// curve; successful slots are bit-identical to what a fault-free run
+  /// of the same seeds produces.
   std::vector<RankFrequency> replica_ingredient_curves;
+  /// Fault ledger: which replicas failed/retried and with what Status.
+  RunReport report;
 };
 
 /// Runs `config.replicas` independent replicas of `model` on `context`
@@ -41,6 +107,14 @@ struct SimulationResult {
 /// pool at the configured support, and aggregates the curves. If `pool` is
 /// non-null the replicas run on it concurrently; results are identical
 /// either way.
+///
+/// Fault tolerance: per-replica failures (model errors or armed
+/// failpoints `sim.replica.generate` / `sim.replica.mine`) are retried up
+/// to `config.max_replica_retries` times with derived retry seeds, then
+/// handled per `config.failure_policy` — kFailFast returns the first
+/// failure's Status, kTolerateK degrades gracefully while at most
+/// `config.tolerate_k` replicas are lost. A tripped `config.cancel` token
+/// aborts between replicas with kCancelled / kDeadlineExceeded.
 Result<SimulationResult> RunSimulation(const EvolutionModel& model,
                                        const CuisineContext& context,
                                        const Lexicon& lexicon,

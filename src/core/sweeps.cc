@@ -1,5 +1,7 @@
 #include "core/sweeps.h"
 
+#include "util/cancel.h"
+
 namespace culevo {
 namespace {
 
@@ -29,6 +31,9 @@ Result<std::vector<SweepPoint>> SweepMixtureProb(
     const SimulationConfig& config, ThreadPool* pool) {
   std::vector<SweepPoint> points;
   for (double p : probs) {
+    // Sweep points are the cancellation granule at this level; deeper
+    // checks happen inside RunSimulation.
+    CULEVO_RETURN_IF_ERROR(CancelToken::Check(config.cancel));
     ModelParams params = base;
     params.policy = ReplacementPolicy::kMixture;
     params.mixture_cross_prob = p;
@@ -46,6 +51,7 @@ Result<std::vector<SweepPoint>> SweepMutationCount(
     const SimulationConfig& config, ThreadPool* pool) {
   std::vector<SweepPoint> points;
   for (int m : mutation_counts) {
+    CULEVO_RETURN_IF_ERROR(CancelToken::Check(config.cancel));
     ModelParams params = base;
     params.mutations = m;
     Result<SweepPoint> point = EvaluateOne(corpus, cuisine, lexicon, params,
@@ -63,6 +69,7 @@ Result<std::vector<SweepPoint>> SweepInitialPool(
     const SimulationConfig& config, ThreadPool* pool) {
   std::vector<SweepPoint> points;
   for (int m : pool_sizes) {
+    CULEVO_RETURN_IF_ERROR(CancelToken::Check(config.cancel));
     ModelParams params = base;
     params.initial_pool = m;
     Result<SweepPoint> point = EvaluateOne(corpus, cuisine, lexicon, params,
@@ -80,6 +87,7 @@ Result<std::vector<SweepPoint>> SweepSizeMutationRate(
     const SimulationConfig& config, ThreadPool* pool) {
   std::vector<SweepPoint> points;
   for (double rate : rates) {
+    CULEVO_RETURN_IF_ERROR(CancelToken::Check(config.cancel));
     ModelParams params = base;
     params.insert_prob = rate;
     params.delete_prob = rate;

@@ -1,6 +1,7 @@
 #include "corpus/corpus_io.h"
 
 #include "util/csv.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace culevo {
@@ -14,6 +15,7 @@ Result<RecipeCorpus> ParseCorpusTsv(std::string_view text,
     ++line_no;
     const std::string_view trimmed = Trim(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
+    CULEVO_FAILPOINT("corpus.parse.row");
     const std::vector<std::string> fields = Split(trimmed, '\t');
     if (fields.size() != 2) {
       return Status::InvalidArgument(StrFormat(
@@ -55,6 +57,7 @@ Result<RecipeCorpus> ParseCorpusTsv(std::string_view text,
 Result<RecipeCorpus> ReadCorpusTsv(const std::string& path,
                                    const Lexicon& lexicon,
                                    bool skip_unknown) {
+  CULEVO_FAILPOINT("corpus.read");
   Result<std::string> content = ReadFileToString(path);
   if (!content.ok()) return content.status();
   return ParseCorpusTsv(content.value(), lexicon, skip_unknown);

@@ -1,6 +1,7 @@
 #include "lexicon/lexicon_io.h"
 
 #include "util/csv.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace culevo {
@@ -51,6 +52,7 @@ Result<Lexicon> ParseLexiconTsv(std::string_view text) {
 }
 
 Result<Lexicon> ReadLexiconTsv(const std::string& path) {
+  CULEVO_FAILPOINT("lexicon.read");
   Result<std::string> content = ReadFileToString(path);
   if (!content.ok()) return content.status();
   return ParseLexiconTsv(content.value());

@@ -1,0 +1,13 @@
+#include "util/cancel.h"
+
+namespace culevo {
+
+Status CancelToken::Check() const {
+  if (cancel_requested()) return Status::Cancelled("cancel requested");
+  if (deadline_expired()) {
+    return Status::DeadlineExceeded("deadline exceeded");
+  }
+  return Status::Ok();
+}
+
+}  // namespace culevo

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/failpoint.h"
+#include "util/file_io.h"
 #include "util/strings.h"
 
 namespace culevo {
@@ -115,21 +117,18 @@ Status WriteDsvFile(const std::string& path, const DsvTable& table,
 }
 
 Result<std::string> ReadFileToString(const std::string& path) {
+  CULEVO_FAILPOINT("io.read.open");
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open for reading: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
+  CULEVO_FAILPOINT("io.read.stream");
   if (in.bad()) return Status::IOError("read failure: " + path);
   return buffer.str();
 }
 
 Status WriteStringToFile(const std::string& path, std::string_view content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for writing: " + path);
-  out.write(content.data(), static_cast<std::streamsize>(content.size()));
-  out.flush();
-  if (!out) return Status::IOError("write failure: " + path);
-  return Status::Ok();
+  return WriteFileAtomic(path, content);
 }
 
 }  // namespace culevo

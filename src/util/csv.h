@@ -28,15 +28,18 @@ Result<DsvTable> ReadDsvFile(const std::string& path, char delimiter);
 /// or a newline.
 std::string FormatDsv(const DsvTable& table, char delimiter);
 
-/// Writes `table` to `path` atomically enough for our purposes (truncate +
-/// write + flush), reporting I/O failures as Status.
+/// Writes `table` to `path` atomically (via util/file_io.h's
+/// WriteFileAtomic): on any failure the previous destination file is left
+/// intact, never a truncated partial.
 Status WriteDsvFile(const std::string& path, const DsvTable& table,
                     char delimiter);
 
-/// Reads a whole file into a string.
+/// Reads a whole file into a string. Failpoints: `io.read.open`,
+/// `io.read.stream`.
 Result<std::string> ReadFileToString(const std::string& path);
 
-/// Writes a string to a file, truncating.
+/// Writes a string to a file atomically (temp file + fsync + rename with
+/// bounded retry — see WriteFileAtomic).
 Status WriteStringToFile(const std::string& path, std::string_view content);
 
 }  // namespace culevo

@@ -1,0 +1,149 @@
+#include "util/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace culevo {
+
+std::atomic<int> Failpoints::armed_count_{0};
+
+Failpoints& Failpoints::Get() {
+  static Failpoints* instance = new Failpoints();
+  return *instance;
+}
+
+namespace {
+// The unarmed fast path reads only armed_count_ and never constructs the
+// registry, so the CULEVO_FAILPOINTS parsing in the constructor would be
+// skipped in any process that only ever *evaluates* failpoints. Force
+// construction at startup when the variable is set.
+[[maybe_unused]] const bool env_arm_trigger = [] {
+  if (const char* env = std::getenv("CULEVO_FAILPOINTS");
+      env != nullptr && *env != '\0') {
+    Failpoints::Get();
+  }
+  return true;
+}();
+}  // namespace
+
+Failpoints::Failpoints() {
+  // Environment arming lets release binaries run the fault suite without
+  // a test harness. A malformed spec is a hard configuration error: the
+  // operator asked for fault injection and did not get it.
+  if (const char* env = std::getenv("CULEVO_FAILPOINTS");
+      env != nullptr && *env != '\0') {
+    if (Status status = ArmFromSpec(env); !status.ok()) {
+      std::fprintf(stderr, "CULEVO_FAILPOINTS: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+  }
+}
+
+void Failpoints::Arm(const std::string& name, ArmSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State& state = points_[name];
+  if (!state.armed) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  state.spec = std::move(spec);
+  state.armed = true;
+  state.hits = 0;
+  state.fired = 0;
+}
+
+void Failpoints::Disarm(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end() || !it->second.armed) return;
+  it->second.armed = false;
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Failpoints::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, state] : points_) {
+    if (state.armed) {
+      state.armed = false;
+      armed_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    state.hits = 0;
+    state.fired = 0;
+  }
+}
+
+int64_t Failpoints::HitCount(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+Status Failpoints::EvalSlow(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end() || !it->second.armed) return Status::Ok();
+  State& state = it->second;
+  const int64_t hit = state.hits++;
+  if (hit < state.spec.skip) return Status::Ok();
+  if (state.spec.fires >= 0 && state.fired >= state.spec.fires) {
+    return Status::Ok();
+  }
+  ++state.fired;
+  return state.spec.status;
+}
+
+Status Failpoints::ArmFromSpec(std::string_view spec) {
+  for (const std::string& raw : Split(spec, ';')) {
+    for (const std::string& part : Split(raw, ',')) {
+      const std::string_view entry = Trim(part);
+      if (entry.empty()) continue;
+      std::string_view name = entry;
+      ArmSpec arm;
+      // `name[=skip][*fires]` — both numbers optional, in that order.
+      const size_t star = name.find('*');
+      std::string_view fires_str;
+      if (star != std::string_view::npos) {
+        fires_str = name.substr(star + 1);
+        name = name.substr(0, star);
+      }
+      const size_t eq = name.find('=');
+      std::string_view skip_str;
+      if (eq != std::string_view::npos) {
+        skip_str = name.substr(eq + 1);
+        name = name.substr(0, eq);
+      }
+      if (name.empty()) {
+        return Status::InvalidArgument(
+            StrFormat("failpoint spec entry '%.*s' has no name",
+                      static_cast<int>(entry.size()), entry.data()));
+      }
+      long long value = 0;
+      if (!skip_str.empty()) {
+        if (!ParseInt64(skip_str, &value) || value < 0) {
+          return Status::InvalidArgument(
+              StrFormat("failpoint '%.*s': bad skip count '%.*s'",
+                        static_cast<int>(name.size()), name.data(),
+                        static_cast<int>(skip_str.size()), skip_str.data()));
+        }
+        arm.skip = static_cast<int>(value);
+      }
+      if (!fires_str.empty()) {
+        if (!ParseInt64(fires_str, &value) || value < 0) {
+          return Status::InvalidArgument(
+              StrFormat("failpoint '%.*s': bad fire count '%.*s'",
+                        static_cast<int>(name.size()), name.data(),
+                        static_cast<int>(fires_str.size()),
+                        fires_str.data()));
+        }
+        arm.fires = static_cast<int>(value);
+      }
+      arm.status = Status::IOError(
+          StrFormat("injected failure at failpoint '%.*s'",
+                    static_cast<int>(name.size()), name.data()));
+      Arm(std::string(name), std::move(arm));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace culevo

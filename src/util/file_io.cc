@@ -1,0 +1,150 @@
+#include "util/file_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/failpoint.h"
+#include "util/strings.h"
+
+namespace culevo {
+namespace {
+
+struct WriteMetrics {
+  obs::Counter* atomic_writes;
+  obs::Counter* retries;
+  obs::Counter* failures;
+
+  static const WriteMetrics& Get() {
+    static const WriteMetrics metrics = {
+        obs::MetricsRegistry::Get().counter("io.write.atomic"),
+        obs::MetricsRegistry::Get().counter("io.write.retries"),
+        obs::MetricsRegistry::Get().counter("io.write.failures"),
+    };
+    return metrics;
+  }
+};
+
+Status ErrnoStatus(const char* op, const std::string& path) {
+  return Status::IOError(
+      StrFormat("%s %s: %s", op, path.c_str(), std::strerror(errno)));
+}
+
+/// Unique-enough temp name in the same directory as `path` (rename(2) is
+/// only atomic within one filesystem). The counter disambiguates
+/// concurrent writers inside this process; O_EXCL catches the rest.
+std::string TempPathFor(const std::string& path) {
+  static std::atomic<uint64_t> counter{0};
+  return StrFormat("%s.tmp-%d-%llu", path.c_str(),
+                   static_cast<int>(::getpid()),
+                   static_cast<unsigned long long>(
+                       counter.fetch_add(1, std::memory_order_relaxed)));
+}
+
+/// One write-fsync-rename attempt. The temp file is always unlinked on
+/// failure so retries (and abandoned runs) never litter the directory.
+Status WriteAttempt(const std::string& path, std::string_view content,
+                    bool sync) {
+  const std::string temp = TempPathFor(path);
+  int fd = -1;
+  Status status = FailpointCheck("io.write.open");
+  if (status.ok()) {
+    fd = ::open(temp.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+    if (fd < 0) status = ErrnoStatus("cannot open for writing", temp);
+  }
+  if (!status.ok()) return status;
+
+  status = FailpointCheck("io.write.write");
+  const char* data = content.data();
+  size_t remaining = content.size();
+  while (status.ok() && remaining > 0) {
+    const ssize_t n = ::write(fd, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status = ErrnoStatus("write failure", temp);
+      break;
+    }
+    data += n;
+    remaining -= static_cast<size_t>(n);
+  }
+
+  if (status.ok()) status = FailpointCheck("io.write.sync");
+  if (status.ok() && sync && ::fsync(fd) != 0) {
+    status = ErrnoStatus("fsync failure", temp);
+  }
+  if (::close(fd) != 0 && status.ok()) {
+    status = ErrnoStatus("close failure", temp);
+  }
+
+  if (status.ok()) status = FailpointCheck("io.write.rename");
+  if (status.ok() && ::rename(temp.c_str(), path.c_str()) != 0) {
+    status = ErrnoStatus("rename failure", path);
+  }
+  if (!status.ok()) {
+    ::unlink(temp.c_str());
+    return status;
+  }
+
+  if (sync) {
+    // Persist the directory entry; best-effort (some filesystems reject
+    // directory fsync) — the data itself is already durable.
+    const size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : path.substr(0, slash + 1);
+    const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dir_fd >= 0) {
+      ::fsync(dir_fd);
+      ::close(dir_fd);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteFileAtomic(const std::string& path, std::string_view content,
+                       const AtomicWriteOptions& options) {
+  if (options.max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be >= 1");
+  }
+  const WriteMetrics& metrics = WriteMetrics::Get();
+  std::chrono::milliseconds backoff = options.retry_backoff;
+  Status status;
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      metrics.retries->Increment();
+      if (backoff.count() > 0) {
+        std::this_thread::sleep_for(backoff);
+        backoff *= 2;
+      }
+    }
+    status = WriteAttempt(path, content, options.sync);
+    if (status.ok()) {
+      metrics.atomic_writes->Increment();
+      return status;
+    }
+  }
+  metrics.failures->Increment();
+  return status;
+}
+
+Status WriteStringToFileTruncating(const std::string& path,
+                                   std::string_view content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  CULEVO_FAILPOINT("io.write.stream");
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  out.flush();
+  if (!out) return Status::IOError("write failure: " + path);
+  return Status::Ok();
+}
+
+}  // namespace culevo

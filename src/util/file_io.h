@@ -1,0 +1,50 @@
+#ifndef CULEVO_UTIL_FILE_IO_H_
+#define CULEVO_UTIL_FILE_IO_H_
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace culevo {
+
+/// Tuning knobs for WriteFileAtomic.
+struct AtomicWriteOptions {
+  /// Total attempts (first try + retries). Must be >= 1.
+  int max_attempts = 3;
+  /// Sleep before the first retry; doubled after each failed attempt.
+  std::chrono::milliseconds retry_backoff{5};
+  /// fsync the temp file before the rename (and the directory after it),
+  /// so a crash immediately after WriteFileAtomic returns OK cannot lose
+  /// the content. Tests disable this to keep tmpfs churn down.
+  bool sync = true;
+};
+
+/// Writes `content` to `path` atomically: the bytes land in a unique temp
+/// file in the target directory, are flushed (and fsynced, see options),
+/// and the temp file is renamed over `path`. Readers — and crashes at any
+/// point — observe either the complete previous file or the complete new
+/// one, never a truncated hybrid. Transient failures are retried with
+/// exponential backoff up to `options.max_attempts`; the temp file is
+/// unlinked on every failure path.
+///
+/// Metrics: `io.write.atomic` (successful writes), `io.write.retries`
+/// (attempts beyond the first), `io.write.failures` (calls that exhausted
+/// all attempts).
+///
+/// Failpoints: `io.write.open`, `io.write.write`, `io.write.sync`,
+/// `io.write.rename` fire once per attempt inside the corresponding step.
+Status WriteFileAtomic(const std::string& path, std::string_view content,
+                       const AtomicWriteOptions& options = {});
+
+/// The pre-fault-tolerance write path: truncate `path` in place, then
+/// stream the bytes. A failure mid-write (failpoint `io.write.stream`)
+/// leaves a corrupt partial file. Kept only as the regression baseline
+/// proving WriteFileAtomic's guarantee — do not use for new artifacts.
+Status WriteStringToFileTruncating(const std::string& path,
+                                   std::string_view content);
+
+}  // namespace culevo
+
+#endif  // CULEVO_UTIL_FILE_IO_H_

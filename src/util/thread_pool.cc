@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
+#include "util/cancel.h"
 #include "util/stopwatch.h"
 
 namespace culevo {
@@ -79,11 +80,20 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t count,
                              const std::function<void(size_t)>& fn) {
+  ParallelFor(count, fn, nullptr);
+}
+
+void ThreadPool::ParallelFor(size_t count,
+                             const std::function<void(size_t)>& fn,
+                             const CancelToken* cancel) {
   if (count == 0) return;
   std::vector<std::future<void>> futures;
   futures.reserve(count);
   for (size_t i = 0; i < count; ++i) {
-    futures.push_back(Submit([&fn, i]() { fn(i); }));
+    futures.push_back(Submit([&fn, cancel, i]() {
+      if (CancelToken::ShouldStop(cancel)) return;
+      fn(i);
+    }));
   }
   // The lambdas above capture `fn` (owned by the caller's frame) by
   // reference, so every queued task must finish before this frame can

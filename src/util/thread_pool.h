@@ -13,6 +13,8 @@
 
 namespace culevo {
 
+class CancelToken;
+
 /// Fixed-size worker pool used to parallelize independent simulation
 /// replicas. Tasks are plain std::function<void()>; Submit returns a future.
 class ThreadPool {
@@ -50,6 +52,18 @@ class ThreadPool {
   /// rethrown after the last iteration has finished; later exceptions are
   /// discarded.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  /// Cancellation-aware variant: each queued iteration polls `cancel`
+  /// before running its body and is silently skipped once the token has
+  /// tripped, so a cancelled loop drains within one in-flight granule per
+  /// worker instead of running to completion. Iterations that already
+  /// started always finish (their outputs stay well-formed). The caller
+  /// decides what a tripped token means — this method still blocks until
+  /// every queued task has run or been skipped, and rethrows like the
+  /// two-argument overload. `cancel == nullptr` behaves identically to
+  /// the two-argument form.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                   const CancelToken* cancel);
 
  private:
   void WorkerLoop();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "lexicon/world_lexicon.h"
+#include "util/failpoint.h"
 
 namespace culevo {
 namespace {
@@ -102,6 +103,65 @@ TEST(CorpusIoTest, FileRoundTrip) {
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->num_recipes(), 1u);
   std::remove(path.c_str());
+}
+
+TEST(CorpusIoTest, ReadMissingFileFails) {
+  Result<RecipeCorpus> corpus =
+      ReadCorpusTsv("/nonexistent/corpus.tsv", WorldLexicon());
+  ASSERT_FALSE(corpus.ok());
+  EXPECT_EQ(corpus.status().code(), StatusCode::kIOError);
+}
+
+// Failpoint-driven I/O error paths: a read that fails before the file is
+// opened (corpus.read), one that fails mid-stream after a successful open
+// (io.read.stream), and a row-level parse fault — all propagate the
+// injected Status instead of crashing or returning a half-parsed corpus.
+class CorpusIoFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/culevo_corpus_fault.tsv";
+    const Lexicon& lexicon = WorldLexicon();
+    Result<RecipeCorpus> corpus =
+        ParseCorpusTsv("ITA\tTomato;Basil\nFRA\tButter\n", lexicon);
+    ASSERT_TRUE(corpus.ok());
+    ASSERT_TRUE(WriteCorpusTsv(path_, corpus.value(), lexicon).ok());
+  }
+  void TearDown() override {
+    Failpoints::Get().DisarmAll();
+    std::remove(path_.c_str());
+  }
+
+  std::string path_;
+};
+
+TEST_F(CorpusIoFaultTest, ReadFailpointPropagates) {
+  Failpoints::Get().Arm("corpus.read");
+  Result<RecipeCorpus> corpus = ReadCorpusTsv(path_, WorldLexicon());
+  ASSERT_FALSE(corpus.ok());
+  EXPECT_EQ(corpus.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(CorpusIoFaultTest, MidStreamReadFailurePropagates) {
+  Failpoints::Get().Arm("io.read.stream");
+  Result<RecipeCorpus> corpus = ReadCorpusTsv(path_, WorldLexicon());
+  ASSERT_FALSE(corpus.ok());
+  EXPECT_EQ(corpus.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(CorpusIoFaultTest, RowFaultAbortsParseNotJustTheRow) {
+  // Fail on the second data row: the parse must not return a corpus
+  // containing only the rows before the fault.
+  Failpoints::ArmSpec spec;
+  spec.skip = 1;
+  Failpoints::Get().Arm("corpus.parse.row", spec);
+  Result<RecipeCorpus> corpus = ReadCorpusTsv(path_, WorldLexicon());
+  ASSERT_FALSE(corpus.ok());
+  EXPECT_EQ(corpus.status().code(), StatusCode::kIOError);
+  // Disarmed, the same file parses completely.
+  Failpoints::Get().DisarmAll();
+  Result<RecipeCorpus> clean = ReadCorpusTsv(path_, WorldLexicon());
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->num_recipes(), 2u);
 }
 
 }  // namespace

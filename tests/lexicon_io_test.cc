@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
+#include "util/failpoint.h"
+
 namespace culevo {
 namespace {
 
@@ -68,7 +72,44 @@ TEST(LexiconTsvRoundTripTest, PreservesEntities) {
 }
 
 TEST(LexiconTsvFileTest, ReadMissingFileFails) {
-  EXPECT_FALSE(ReadLexiconTsv("/nonexistent/lex.tsv").ok());
+  Result<Lexicon> lexicon = ReadLexiconTsv("/nonexistent/lex.tsv");
+  ASSERT_FALSE(lexicon.ok());
+  EXPECT_EQ(lexicon.status().code(), StatusCode::kIOError);
+}
+
+// Failpoint-driven error paths through the file reader: the read-level
+// fault (lexicon.read) and a mid-stream failure after a successful open
+// (io.read.stream) both surface the injected Status.
+class LexiconIoFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/culevo_lexicon_fault.tsv";
+    Result<Lexicon> lexicon = ParseLexiconTsv(kGoodTsv);
+    ASSERT_TRUE(lexicon.ok());
+    ASSERT_TRUE(WriteLexiconTsv(path_, lexicon.value()).ok());
+  }
+  void TearDown() override {
+    Failpoints::Get().DisarmAll();
+    std::remove(path_.c_str());
+  }
+
+  std::string path_;
+};
+
+TEST_F(LexiconIoFaultTest, ReadFailpointPropagates) {
+  Failpoints::Get().Arm("lexicon.read");
+  Result<Lexicon> lexicon = ReadLexiconTsv(path_);
+  ASSERT_FALSE(lexicon.ok());
+  EXPECT_EQ(lexicon.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(LexiconIoFaultTest, MidStreamReadFailurePropagates) {
+  Failpoints::Get().Arm("io.read.stream");
+  Result<Lexicon> lexicon = ReadLexiconTsv(path_);
+  ASSERT_FALSE(lexicon.ok());
+  EXPECT_EQ(lexicon.status().code(), StatusCode::kIOError);
+  Failpoints::Get().DisarmAll();
+  EXPECT_TRUE(ReadLexiconTsv(path_).ok());
 }
 
 }  // namespace
