@@ -50,6 +50,14 @@ int Run(int argc, char** argv) {
   SimulationConfig config;
   config.replicas = options.replicas;
   config.seed = options.seed;
+  // --checkpoint <dir> journals completed replicas per model × cuisine;
+  // --resume restores them after an interruption, so a long 25-cuisine
+  // sweep picks up where it died. ckpt.* counters land in BENCH JSON via
+  // the metrics snapshot. Benches skip fsync: tmpfs durability is enough
+  // for a harness, and the sync cost would pollute the timings.
+  config.checkpoint.directory = options.flags.GetString("checkpoint", "");
+  config.checkpoint.resume = options.flags.GetBool("resume", false);
+  config.checkpoint.sync = false;
 
   std::printf(
       "\n== Fig. 4: ingredient-combination MAE, model vs empirical "

@@ -11,9 +11,16 @@
 // Common flags: --scale, --replicas, --seed (as in the bench harness).
 // Pass --metrics to dump the process metrics registry (counters, gauges,
 // latency histograms) as JSON on exit. Pass --timeout-ms <n> to bound the
-// whole run with a deadline; Ctrl-C (SIGINT) requests a cooperative
-// cancel — either way the tool exits nonzero with Cancelled /
-// DeadlineExceeded instead of being killed mid-write.
+// whole run with a deadline; Ctrl-C (SIGINT) or SIGTERM (what container
+// orchestrators send on shutdown) requests a cooperative cancel — either
+// way the tool exits nonzero with Cancelled / DeadlineExceeded instead of
+// being killed mid-write.
+//
+// Crash recovery (evaluate): --checkpoint <dir> journals every completed
+// replica through atomic writes; after an interruption, rerunning the
+// same command with --resume restores the completed replicas and finishes
+// only the remainder — bit-identical results to an uninterrupted run. See
+// DESIGN.md §10 and EXPERIMENTS.md for the workflow.
 
 #include <csignal>
 #include <iostream>
@@ -42,16 +49,18 @@ namespace {
 
 using namespace culevo;
 
-// Process-wide cancellation token. SIGINT trips it (CancelToken::Cancel is
-// a relaxed atomic store, so it is async-signal-safe) and --timeout-ms
-// arms its deadline; the long-running subcommands poll it at replica /
-// root-class granularity.
+// Process-wide cancellation token. SIGINT and SIGTERM trip it
+// (CancelToken::Cancel is a relaxed atomic store, so it is
+// async-signal-safe) and --timeout-ms arms its deadline; the long-running
+// subcommands poll it at replica / root-class granularity.
 CancelToken& GlobalCancel() {
   static CancelToken token;
   return token;
 }
 
-extern "C" void HandleSigint(int /*signum*/) { GlobalCancel().Cancel(); }
+extern "C" void HandleCancelSignal(int /*signum*/) {
+  GlobalCancel().Cancel();
+}
 
 int Usage() {
   std::cerr
@@ -61,7 +70,10 @@ int Usage() {
          "--timeout-ms <n> (deadline for the whole run) "
          "--metrics (dump metrics registry JSON on exit)\n"
          "evaluate flags: --cuisine <code> --tolerate <k> (continue unless "
-         "more than k replicas fail) --retries <n> (per-replica retries)\n";
+         "more than k replicas fail) --retries <n> (per-replica retries) "
+         "--checkpoint <dir> (journal completed replicas for crash "
+         "recovery) --resume (restore completed replicas from the "
+         "checkpoint journal)\n";
   return 2;
 }
 
@@ -122,6 +134,14 @@ int RunEvaluate(const FlagParser& flags) {
   }
   config.max_replica_retries =
       static_cast<int>(flags.GetInt("retries", 0));
+  config.checkpoint.directory = flags.GetString("checkpoint", "");
+  config.checkpoint.resume = flags.GetBool("resume", false);
+  config.checkpoint.sync = true;  // the CLI journals durably
+  if (config.checkpoint.resume && !config.checkpoint.enabled()) {
+    std::cerr << "--resume requires --checkpoint <dir> (the journal to "
+                 "resume from)\n";
+    return 2;
+  }
   Result<CuisineEvaluation> evaluation = EvaluateCuisine(
       *corpus, cuisine.value(), lexicon,
       {cm_r.get(), cm_c.get(), cm_m.get(), &nm}, config);
@@ -135,6 +155,14 @@ int RunEvaluate(const FlagParser& flags) {
                   TablePrinter::Num(score.mae_category, 4)});
   }
   table.Print(std::cout);
+  if (config.checkpoint.enabled()) {
+    // The merged fault/recovery ledger (prior attempts included) of each
+    // model's run, machine-readable for the resume workflow.
+    for (const ModelScore& score : evaluation->scores) {
+      std::cout << "report " << score.model << " "
+                << RunReportToJson(score.report) << "\n";
+    }
+  }
   std::cout << "winner: "
             << evaluation->scores[evaluation->BestByIngredientMae()].model
             << "\n";
@@ -280,7 +308,11 @@ int main(int argc, char** argv) {
     std::cerr << s << "\n";
     return 2;
   }
-  std::signal(SIGINT, HandleSigint);
+  std::signal(SIGINT, HandleCancelSignal);
+  // Orchestrators (docker stop, Kubernetes, CI runners) send SIGTERM on
+  // shutdown: treat it as a cancel request so checkpointed runs flush a
+  // resumable journal instead of dying mid-write.
+  std::signal(SIGTERM, HandleCancelSignal);
   const long long timeout_ms = flags.GetInt("timeout-ms", 0);
   if (timeout_ms > 0) {
     GlobalCancel().set_deadline(Deadline::AfterMillis(timeout_ms));

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cmath>
 
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/distributions.h"
+#include "util/hash.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -35,6 +37,20 @@ CopyMutateModel::CopyMutateModel(const Lexicon* lexicon, ModelParams params)
 
 std::string CopyMutateModel::name() const {
   return ReplacementPolicyName(params_.policy);
+}
+
+uint64_t CopyMutateModel::ConfigFingerprint() const {
+  uint64_t hash = EvolutionModel::ConfigFingerprint();
+  hash = HashCombine(hash, static_cast<uint64_t>(params_.policy));
+  hash = HashCombine(hash, static_cast<uint64_t>(params_.initial_pool));
+  hash = HashCombine(hash, static_cast<uint64_t>(params_.mutations));
+  hash = HashCombine(hash, std::bit_cast<uint64_t>(params_.mixture_cross_prob));
+  hash = HashCombine(hash, std::bit_cast<uint64_t>(params_.insert_prob));
+  hash = HashCombine(hash, std::bit_cast<uint64_t>(params_.delete_prob));
+  hash = HashCombine(hash, static_cast<uint64_t>(params_.min_recipe_size));
+  hash = HashCombine(hash, static_cast<uint64_t>(params_.max_recipe_size));
+  hash = HashCombine(hash, static_cast<uint64_t>(params_.fitness));
+  return hash;
 }
 
 namespace {

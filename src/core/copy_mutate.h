@@ -56,6 +56,10 @@ class CopyMutateModel : public EvolutionModel {
 
   std::string name() const override;
 
+  /// Folds every ModelParams knob into the fingerprint: name() only says
+  /// "CM-M", but two mixture probabilities generate different pools.
+  uint64_t ConfigFingerprint() const override;
+
   const ModelParams& params() const { return params_; }
 
   Status Generate(const CuisineContext& context, uint64_t seed,

@@ -46,6 +46,7 @@ Result<CuisineEvaluation> EvaluateCuisine(
                                            score.category_curve);
     score.paper_eq2_ingredient = PaperEq2Distance(
         evaluation.empirical_ingredient, score.ingredient_curve);
+    score.report = std::move(sim.value().report);
     evaluation.scores.push_back(std::move(score));
   }
   return evaluation;

@@ -4,9 +4,18 @@
 #include <cmath>
 #include <limits>
 
+#include "util/hash.h"
 #include "util/strings.h"
 
 namespace culevo {
+
+uint64_t EvolutionModel::ConfigFingerprint() const {
+  uint64_t hash = 0xA0761D6478BD642Full;
+  for (unsigned char c : name()) {
+    hash = HashCombine(hash, static_cast<uint64_t>(c));
+  }
+  return hash;
+}
 
 Result<CuisineContext> ContextFromCorpus(const RecipeCorpus& corpus,
                                          CuisineId cuisine) {

@@ -51,6 +51,15 @@ class EvolutionModel {
   /// Short display name: "CM-R", "CM-C", "CM-M", "NM", ...
   virtual std::string name() const = 0;
 
+  /// Hash of everything that changes what Generate() produces for a fixed
+  /// (context, seed) — the model's identity in a checkpoint manifest
+  /// (core/run_journal.h). Two models with equal fingerprints must be
+  /// output-identical; models with tunable parameters override this to
+  /// fold them in (name() alone cannot tell two CM-M mixture ratios
+  /// apart). The base implementation hashes name() only, which is correct
+  /// for parameter-free models.
+  virtual uint64_t ConfigFingerprint() const;
+
   /// Evolves context.target_recipes recipes.
   virtual Status Generate(const CuisineContext& context, uint64_t seed,
                           GeneratedRecipes* out) const = 0;

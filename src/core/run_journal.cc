@@ -1,0 +1,442 @@
+#include "core/run_journal.h"
+
+#include <sys/stat.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <map>
+
+#include "obs/metrics.h"
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace culevo {
+namespace {
+
+struct JournalMetrics {
+  obs::Counter* resumes;
+  obs::Counter* replicas_restored;
+  obs::Counter* points_restored;
+
+  static const JournalMetrics& Get() {
+    static const JournalMetrics metrics = {
+        obs::MetricsRegistry::Get().counter("ckpt.resumes"),
+        obs::MetricsRegistry::Get().counter("ckpt.replicas_restored"),
+        obs::MetricsRegistry::Get().counter("ckpt.points_restored"),
+    };
+    return metrics;
+  }
+};
+
+std::string HexU64(uint64_t value) {
+  return StrFormat("%016llx", static_cast<unsigned long long>(value));
+}
+
+bool ParseHexU64(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 16) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
+/// Doubles cross the journal as raw bit patterns: the resume guarantee is
+/// *bit* identity, and decimal round-trips are where that dies.
+std::string HexDouble(double value) {
+  return HexU64(std::bit_cast<uint64_t>(value));
+}
+
+bool ParseHexDouble(std::string_view text, double* out) {
+  uint64_t bits;
+  if (!ParseHexU64(text, &bits)) return false;
+  *out = std::bit_cast<double>(bits);
+  return true;
+}
+
+/// Percent-encodes the bytes that would break the token grammar (space,
+/// '=', '%', control bytes). Everything else passes through.
+std::string EscapeField(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (unsigned char c : raw) {
+    if (c == ' ' || c == '=' || c == '%' || c < 0x20) {
+      out.append(StrFormat("%%%02X", c));
+    } else {
+      out.push_back(static_cast<char>(c));
+    }
+  }
+  return out;
+}
+
+std::string UnescapeField(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '%' && i + 2 < escaped.size()) {
+      const auto hex_digit = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        return -1;
+      };
+      const int hi = hex_digit(escaped[i + 1]);
+      const int lo = hex_digit(escaped[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(escaped[i]);
+  }
+  return out;
+}
+
+std::string FormatCurve(const std::vector<double>& values) {
+  std::string out;
+  out.reserve(values.size() * 17);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(HexDouble(values[i]));
+  }
+  return out;
+}
+
+bool ParseCurve(std::string_view text, std::vector<double>* out) {
+  out->clear();
+  if (text.empty()) return true;  // an empty curve serializes as ""
+  for (const std::string& item : Split(text, ',')) {
+    double value;
+    if (!ParseHexDouble(item, &value)) return false;
+    out->push_back(value);
+  }
+  return true;
+}
+
+/// A record payload is `kind=<kind> key=value key=value ...`.
+using Fields = std::map<std::string, std::string, std::less<>>;
+
+Fields ParseFields(std::string_view payload) {
+  Fields fields;
+  for (const std::string& token : Split(payload, ' ')) {
+    if (token.empty()) continue;
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) continue;
+    fields[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return fields;
+}
+
+bool FieldInt(const Fields& fields, std::string_view key, long long* out) {
+  auto it = fields.find(key);
+  return it != fields.end() && ParseInt64(it->second, out);
+}
+
+bool FieldHex(const Fields& fields, std::string_view key, uint64_t* out) {
+  auto it = fields.find(key);
+  return it != fields.end() && ParseHexU64(it->second, out);
+}
+
+std::string FieldString(const Fields& fields, std::string_view key) {
+  auto it = fields.find(key);
+  return it == fields.end() ? std::string() : UnescapeField(it->second);
+}
+
+std::string FormatManifest(const RunManifest& manifest) {
+  return StrFormat(
+      "kind=manifest v=%d run=%s name=%s cfg=%s seed=%s replicas=%d "
+      "points=%d mining=%s context=%s",
+      manifest.schema, EscapeField(manifest.run_kind).c_str(),
+      EscapeField(manifest.name).c_str(),
+      HexU64(manifest.config_fingerprint).c_str(),
+      HexU64(manifest.seed).c_str(), manifest.replicas, manifest.points,
+      HexU64(manifest.mining_hash).c_str(),
+      HexU64(manifest.context_hash).c_str());
+}
+
+Status ParseManifest(std::string_view payload, RunManifest* out) {
+  const Fields fields = ParseFields(payload);
+  long long schema = 0, replicas = 0, points = 0;
+  if (FieldString(fields, "kind") != "manifest" ||
+      !FieldInt(fields, "v", &schema) ||
+      !FieldInt(fields, "replicas", &replicas) ||
+      !FieldInt(fields, "points", &points) ||
+      !FieldHex(fields, "cfg", &out->config_fingerprint) ||
+      !FieldHex(fields, "seed", &out->seed) ||
+      !FieldHex(fields, "mining", &out->mining_hash) ||
+      !FieldHex(fields, "context", &out->context_hash)) {
+    return Status::FailedPrecondition(
+        "journal manifest record is unreadable");
+  }
+  out->schema = static_cast<int>(schema);
+  out->replicas = static_cast<int>(replicas);
+  out->points = static_cast<int>(points);
+  out->run_kind = FieldString(fields, "run");
+  out->name = FieldString(fields, "name");
+  return Status::Ok();
+}
+
+/// Refusal messages name the first mismatching field with both values, so
+/// "you pointed --resume at the wrong run" is a one-glance diagnosis.
+Status CheckManifest(const RunManifest& journal, const RunManifest& run,
+                     const std::string& path) {
+  const auto refuse = [&path](std::string detail) {
+    return Status::FailedPrecondition(StrFormat(
+        "resume refused: journal %s was recorded by a different run (%s); "
+        "start fresh (drop --resume) or point --checkpoint elsewhere",
+        path.c_str(), detail.c_str()));
+  };
+  if (journal.schema != run.schema) {
+    return refuse(StrFormat("record schema v%d vs this build's v%d",
+                            journal.schema, run.schema));
+  }
+  if (journal.run_kind != run.run_kind) {
+    return refuse(StrFormat("run kind '%s' vs '%s'",
+                            journal.run_kind.c_str(), run.run_kind.c_str()));
+  }
+  if (journal.name != run.name) {
+    return refuse(StrFormat("model/sweep '%s' vs '%s'",
+                            journal.name.c_str(), run.name.c_str()));
+  }
+  if (journal.config_fingerprint != run.config_fingerprint) {
+    return refuse(StrFormat(
+        "config fingerprint %s vs %s (same name, different parameters?)",
+        HexU64(journal.config_fingerprint).c_str(),
+        HexU64(run.config_fingerprint).c_str()));
+  }
+  if (journal.seed != run.seed) {
+    return refuse(StrFormat("seed %llu vs %llu",
+                            static_cast<unsigned long long>(journal.seed),
+                            static_cast<unsigned long long>(run.seed)));
+  }
+  if (journal.replicas != run.replicas) {
+    return refuse(StrFormat("replicas %d vs %d", journal.replicas,
+                            run.replicas));
+  }
+  if (journal.points != run.points) {
+    return refuse(StrFormat("sweep points %d vs %d", journal.points,
+                            run.points));
+  }
+  if (journal.mining_hash != run.mining_hash) {
+    return refuse("mining configuration (support/miner) differs");
+  }
+  if (journal.context_hash != run.context_hash) {
+    return refuse("corpus/lexicon content hash differs");
+  }
+  return Status::Ok();
+}
+
+Status EnsureDirectory(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::Ok();
+  }
+  return Status::IOError(StrFormat("cannot create checkpoint directory %s: %s",
+                                   dir.c_str(), std::strerror(errno)));
+}
+
+StatusCode CodeFromInt(long long code) {
+  if (code < 0 || code > static_cast<long long>(StatusCode::kDeadlineExceeded)) {
+    return StatusCode::kInternal;
+  }
+  return static_cast<StatusCode>(code);
+}
+
+}  // namespace
+
+uint64_t HashCuisineContext(const CuisineContext& context,
+                            const Lexicon& lexicon) {
+  uint64_t hash = 0x9E3779B97F4A7C15ull;
+  hash = HashCombine(hash, static_cast<uint64_t>(context.cuisine));
+  hash = HashCombine(hash, context.ingredients.size());
+  for (IngredientId id : context.ingredients) {
+    hash = HashCombine(hash, static_cast<uint64_t>(id));
+    hash = HashCombine(hash,
+                       static_cast<uint64_t>(lexicon.category(id)));
+  }
+  for (double p : context.popularity) {
+    hash = HashCombine(hash, std::bit_cast<uint64_t>(p));
+  }
+  hash = HashCombine(hash, static_cast<uint64_t>(context.mean_recipe_size));
+  hash = HashCombine(hash, static_cast<uint64_t>(context.target_recipes));
+  hash = HashCombine(hash, std::bit_cast<uint64_t>(context.phi));
+  hash = HashCombine(hash, lexicon.size());
+  return hash;
+}
+
+std::string SanitizeFileToken(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (c >= 'A' && c <= 'Z') {
+      out.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  return out.empty() ? std::string("run") : out;
+}
+
+Result<std::unique_ptr<RunJournal>> RunJournal::Open(
+    const CheckpointOptions& options, const std::string& file_name,
+    const RunManifest& manifest) {
+  if (!options.enabled()) {
+    return Status::InvalidArgument(
+        "RunJournal::Open requires a checkpoint directory");
+  }
+  CULEVO_RETURN_IF_ERROR(EnsureDirectory(options.directory));
+  const std::string path = options.directory + "/" + file_name;
+
+  std::unique_ptr<RunJournal> journal(new RunJournal());
+  JournalWriter::Options writer_options;
+  writer_options.sync = options.sync;
+
+  std::vector<std::string> seed_records;
+  if (options.resume) {
+    Result<JournalContents> read = ReadJournal(path);
+    if (read.ok()) {
+      const JournalContents& contents = read.value();
+      journal->quarantined_records_ = contents.quarantined_records;
+      if (contents.records.empty()) {
+        // The file exists but not even the manifest survived: nothing
+        // certifies what run this was, so refusal is the only safe move.
+        return Status::FailedPrecondition(StrFormat(
+            "resume refused: journal %s has no readable manifest "
+            "(%d corrupt record(s) quarantined); delete it to start over",
+            path.c_str(), contents.quarantined_records));
+      }
+      RunManifest loaded;
+      Status status = ParseManifest(contents.records[0], &loaded);
+      if (!status.ok()) return status;
+      CULEVO_RETURN_IF_ERROR(CheckManifest(loaded, manifest, path));
+
+      const JournalMetrics& metrics = JournalMetrics::Get();
+      for (size_t i = 1; i < contents.records.size(); ++i) {
+        const Fields fields = ParseFields(contents.records[i]);
+        const std::string kind = FieldString(fields, "kind");
+        long long k = 0, retries = 0, code = 0, index = 0;
+        if (kind == "replica") {
+          ReplicaCheckpoint replica;
+          auto ic = fields.find("ic");
+          auto cc = fields.find("cc");
+          if (!FieldInt(fields, "k", &k) ||
+              !FieldInt(fields, "retries", &retries) ||
+              ic == fields.end() || cc == fields.end() ||
+              !ParseCurve(ic->second, &replica.ingredient) ||
+              !ParseCurve(cc->second, &replica.category)) {
+            return Status::FailedPrecondition(StrFormat(
+                "journal %s: unreadable replica record %zu", path.c_str(),
+                i));
+          }
+          replica.replica = static_cast<int>(k);
+          replica.retries = static_cast<int>(retries);
+          journal->restored_replicas_.push_back(std::move(replica));
+        } else if (kind == "incident") {
+          if (!FieldInt(fields, "k", &k) ||
+              !FieldInt(fields, "code", &code) ||
+              !FieldInt(fields, "retries", &retries)) {
+            return Status::FailedPrecondition(StrFormat(
+                "journal %s: unreadable incident record %zu", path.c_str(),
+                i));
+          }
+          journal->prior_incidents_.push_back(IncidentCheckpoint{
+              static_cast<int>(k), static_cast<int>(code),
+              FieldString(fields, "msg"), static_cast<int>(retries)});
+        } else if (kind == "sweep") {
+          SweepPointCheckpoint point;
+          auto value = fields.find("value");
+          auto mi = fields.find("mi");
+          auto mc = fields.find("mc");
+          if (!FieldInt(fields, "i", &index) || value == fields.end() ||
+              mi == fields.end() || mc == fields.end() ||
+              !ParseHexDouble(value->second, &point.value) ||
+              !ParseHexDouble(mi->second, &point.mae_ingredient) ||
+              !ParseHexDouble(mc->second, &point.mae_category)) {
+            return Status::FailedPrecondition(StrFormat(
+                "journal %s: unreadable sweep record %zu", path.c_str(), i));
+          }
+          point.index = static_cast<int>(index);
+          journal->restored_points_.push_back(point);
+        }
+        // Unknown kinds (e.g. "interrupt") are forensic only: preserved
+        // in the rewritten journal, ignored by the resume protocol.
+      }
+      journal->resumed_ = true;
+      seed_records = contents.records;
+      metrics.resumes->Increment();
+      metrics.replicas_restored->Increment(
+          static_cast<int64_t>(journal->restored_replicas_.size()));
+      metrics.points_restored->Increment(
+          static_cast<int64_t>(journal->restored_points_.size()));
+    } else if (read.status().code() == StatusCode::kNotFound) {
+      // Nothing completed before the interruption — resume degenerates to
+      // a fresh start.
+    } else {
+      return read.status();
+    }
+  }
+
+  if (seed_records.empty()) {
+    seed_records.push_back(FormatManifest(manifest));
+  }
+  CULEVO_RETURN_IF_ERROR(
+      journal->writer_.Open(path, std::move(seed_records), writer_options));
+  return journal;
+}
+
+Status RunJournal::AppendReplica(const ReplicaCheckpoint& replica) {
+  std::string payload = StrFormat("kind=replica k=%d retries=%d ic=",
+                                  replica.replica, replica.retries);
+  payload.append(FormatCurve(replica.ingredient));
+  payload.append(" cc=");
+  payload.append(FormatCurve(replica.category));
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_.Append(payload);
+}
+
+Status RunJournal::AppendIncident(int replica, const Status& status,
+                                  int retries) {
+  const std::string payload = StrFormat(
+      "kind=incident k=%d code=%d retries=%d msg=%s", replica,
+      static_cast<int>(status.code()), retries,
+      EscapeField(status.message()).c_str());
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_.Append(payload);
+}
+
+Status RunJournal::AppendSweepPoint(const SweepPointCheckpoint& point) {
+  const std::string payload = StrFormat(
+      "kind=sweep i=%d value=%s mi=%s mc=%s", point.index,
+      HexDouble(point.value).c_str(),
+      HexDouble(point.mae_ingredient).c_str(),
+      HexDouble(point.mae_category).c_str());
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_.Append(payload);
+}
+
+Status RunJournal::AppendInterrupt(const Status& status) {
+  const std::string payload = StrFormat(
+      "kind=interrupt code=%d msg=%s", static_cast<int>(status.code()),
+      EscapeField(status.message()).c_str());
+  std::lock_guard<std::mutex> lock(mu_);
+  return writer_.Append(payload);
+}
+
+/// Reconstructs the Status a prior attempt recorded for an incident.
+Status IncidentStatus(const IncidentCheckpoint& incident) {
+  return Status(CodeFromInt(incident.status_code), incident.message);
+}
+
+}  // namespace culevo

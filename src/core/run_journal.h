@@ -1,0 +1,163 @@
+#ifndef CULEVO_CORE_RUN_JOURNAL_H_
+#define CULEVO_CORE_RUN_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/evolution_model.h"
+#include "util/checkpoint.h"
+#include "util/status.h"
+
+namespace culevo {
+
+/// Record-schema version of the run journal (the payloads inside the
+/// util/checkpoint framing, which has its own format version). Bump when
+/// a record kind changes incompatibly; resume refuses across versions.
+inline constexpr int kRunJournalSchemaVersion = 1;
+
+/// Crash-recovery knobs on SimulationConfig (and, transitively, on the
+/// sweep drivers). Empty `directory` disables checkpointing entirely —
+/// the default, costing nothing on the simulation hot path.
+struct CheckpointOptions {
+  /// Directory holding the run journals (one file per model × cuisine /
+  /// per sweep). Created on first use if missing.
+  std::string directory;
+  /// Load completed work from an existing journal instead of starting
+  /// fresh. A journal whose manifest does not match the current run is
+  /// refused with FailedPrecondition — resuming never silently mixes
+  /// runs. A missing journal resumes as a fresh start (nothing completed
+  /// before the crash).
+  bool resume = false;
+  /// fsync journal writes (see JournalWriter::Options::sync). The CLI
+  /// runs durable; tests and benches keep tmpfs churn down.
+  bool sync = false;
+
+  bool enabled() const { return !directory.empty(); }
+};
+
+/// Identity of one logical run: resume refuses a journal whose manifest
+/// differs in any field, because mixing replicas across configurations
+/// would corrupt the aggregate while looking healthy.
+struct RunManifest {
+  int schema = kRunJournalSchemaVersion;
+  std::string run_kind;       ///< "simulation" or "sweep".
+  std::string name;           ///< Model name / sweep name.
+  /// Model parameters (EvolutionModel::ConfigFingerprint) or, for sweeps,
+  /// the base params + swept value list. Catches same-name models with
+  /// different knobs (two CM-M mixture probabilities both print "CM-M").
+  uint64_t config_fingerprint = 0;
+  uint64_t seed = 0;
+  int replicas = 0;
+  int points = 0;             ///< Sweep points; 0 for plain simulations.
+  /// Mining parameters (support, miner kind).
+  uint64_t mining_hash = 0;
+  /// Cuisine context + lexicon content hash — the "corpus hash": a
+  /// journal recorded against a different synthetic world or lexicon
+  /// must not be resumed.
+  uint64_t context_hash = 0;
+};
+
+/// One completed replica as checkpointed: its curves are stored with
+/// bit-exact doubles (hex bit patterns), so a restored replica is
+/// indistinguishable from a freshly-computed one.
+struct ReplicaCheckpoint {
+  int replica = -1;
+  int retries = 0;
+  std::vector<double> ingredient;
+  std::vector<double> category;
+};
+
+/// A replica failure recorded by a *prior* attempt of this logical run.
+/// Resume re-runs the replica (the failure may have been transient) and
+/// merges these into the final RunReport so the ledger describes the
+/// whole logical run, not just the final process.
+struct IncidentCheckpoint {
+  int replica = -1;
+  int status_code = 0;
+  std::string message;
+  int retries = 0;
+};
+
+/// One completed sweep point as checkpointed (bit-exact doubles).
+struct SweepPointCheckpoint {
+  int index = -1;
+  double value = 0.0;
+  double mae_ingredient = 0.0;
+  double mae_category = 0.0;
+};
+
+/// Content hash of a cuisine context plus the lexicon categories it maps
+/// through — the manifest's corpus/lexicon identity.
+uint64_t HashCuisineContext(const CuisineContext& context,
+                            const Lexicon& lexicon);
+
+/// Reconstructs the Status a prior attempt recorded for an incident.
+Status IncidentStatus(const IncidentCheckpoint& incident);
+
+/// Lowercases `name` and maps everything outside [a-z0-9] to '_', for
+/// journal file names derived from model/sweep names.
+std::string SanitizeFileToken(std::string_view name);
+
+/// The domain layer over util/checkpoint.h: serializes run records
+/// (manifest, replica, incident, sweep point, interrupt) and implements
+/// the resume protocol. Appends are thread-safe (RunSimulation journals
+/// from pool workers). See DESIGN.md §10 for the record grammar.
+class RunJournal {
+ public:
+  /// Opens `<options.directory>/<file_name>`, creating the directory if
+  /// needed. Fresh runs truncate any existing journal; with
+  /// `options.resume` the existing journal is loaded instead:
+  /// checksum-verified (a corrupt tail is quarantined and durably
+  /// dropped on the next append), manifest-checked against `manifest`
+  /// (mismatch → FailedPrecondition naming the field), and the completed
+  /// records exposed via restored_replicas()/restored_points()/
+  /// prior_incidents().
+  static Result<std::unique_ptr<RunJournal>> Open(
+      const CheckpointOptions& options, const std::string& file_name,
+      const RunManifest& manifest);
+
+  const std::vector<ReplicaCheckpoint>& restored_replicas() const {
+    return restored_replicas_;
+  }
+  const std::vector<IncidentCheckpoint>& prior_incidents() const {
+    return prior_incidents_;
+  }
+  const std::vector<SweepPointCheckpoint>& restored_points() const {
+    return restored_points_;
+  }
+  /// True when Open loaded an existing journal (even one with zero
+  /// completed records).
+  bool resumed() const { return resumed_; }
+  /// Records dropped by the corruption quarantine during Open.
+  int quarantined_records() const { return quarantined_records_; }
+  const std::string& path() const { return writer_.path(); }
+
+  /// Checkpoints one completed replica. Thread-safe.
+  Status AppendReplica(const ReplicaCheckpoint& replica);
+  /// Records a permanent replica failure for RunReport continuity.
+  Status AppendIncident(int replica, const Status& status, int retries);
+  /// Checkpoints one completed sweep point.
+  Status AppendSweepPoint(const SweepPointCheckpoint& point);
+  /// Final record flushed when cancellation/deadline interrupts the run,
+  /// so the journal itself documents why it is incomplete.
+  Status AppendInterrupt(const Status& status);
+
+ private:
+  RunJournal() = default;
+
+  JournalWriter writer_;
+  std::mutex mu_;
+  bool resumed_ = false;
+  int quarantined_records_ = 0;
+  std::vector<ReplicaCheckpoint> restored_replicas_;
+  std::vector<IncidentCheckpoint> prior_incidents_;
+  std::vector<SweepPointCheckpoint> restored_points_;
+};
+
+}  // namespace culevo
+
+#endif  // CULEVO_CORE_RUN_JOURNAL_H_

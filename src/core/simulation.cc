@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <memory>
 #include <mutex>
 #include <span>
 
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
 #include "util/failpoint.h"
+#include "util/hash.h"
 #include "util/json.h"
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace culevo {
 
@@ -124,6 +128,14 @@ std::string RunReportToJson(const RunReport& report) {
   return std::move(json).Take();
 }
 
+uint64_t HashMiningConfig(const CombinationConfig& mining) {
+  uint64_t hash = 0x51ED270B35A7E9D1ull;
+  hash = HashCombine(hash,
+                     std::bit_cast<uint64_t>(mining.min_relative_support));
+  hash = HashCombine(hash, static_cast<uint64_t>(mining.miner));
+  return hash;
+}
+
 Result<SimulationResult> RunSimulation(const EvolutionModel& model,
                                        const CuisineContext& context,
                                        const Lexicon& lexicon,
@@ -152,11 +164,54 @@ Result<SimulationResult> RunSimulation(const EvolutionModel& model,
   static obs::Histogram* mine_ms =
       obs::MetricsRegistry::Get().histogram("sim.replica.mine_ms");
 
+  // Open the journal before any work: a manifest mismatch must refuse the
+  // run up front, not after replicas have been burned.
+  std::unique_ptr<RunJournal> journal;
+  if (config.checkpoint.enabled()) {
+    RunManifest manifest;
+    manifest.run_kind = "simulation";
+    manifest.name = model.name();
+    manifest.config_fingerprint = model.ConfigFingerprint();
+    manifest.seed = config.seed;
+    manifest.replicas = config.replicas;
+    manifest.mining_hash = HashMiningConfig(config.mining);
+    manifest.context_hash = HashCuisineContext(context, lexicon);
+    const std::string file_name = StrFormat(
+        "sim_%s_c%d.journal", SanitizeFileToken(model.name()).c_str(),
+        static_cast<int>(context.cuisine));
+    Result<std::unique_ptr<RunJournal>> opened =
+        RunJournal::Open(config.checkpoint, file_name, manifest);
+    if (!opened.ok()) return opened.status();
+    journal = std::move(opened).value();
+  }
+
   const size_t n = static_cast<size_t>(config.replicas);
   std::vector<RankFrequency> ingredient_curves(n);
   std::vector<RankFrequency> category_curves(n);
   std::vector<Status> statuses(n);
   std::vector<int> retries(n, 0);
+
+  // Replicas restored from the journal are bit-identical to freshly
+  // computed ones (curves cross the journal as raw double bit patterns),
+  // so everything downstream — aggregation, report, per-replica curves —
+  // cannot tell a resumed run from an uninterrupted one.
+  std::vector<char> restored(n, 0);
+  if (journal != nullptr) {
+    for (const ReplicaCheckpoint& replica : journal->restored_replicas()) {
+      const size_t k = static_cast<size_t>(replica.replica);
+      if (replica.replica < 0 || k >= n || restored[k]) continue;
+      ingredient_curves[k] = RankFrequency::FromSorted(replica.ingredient);
+      category_curves[k] = RankFrequency::FromSorted(replica.category);
+      retries[k] = replica.retries;
+      restored[k] = 1;
+    }
+  }
+
+  // First journal-append failure; checked after the replica loop. A
+  // checkpointed run whose journal cannot be written must fail — claiming
+  // durability without it would be worse than not checkpointing.
+  std::mutex journal_error_mu;
+  Status journal_error;
 
   // When the replicas themselves run on `pool`, mining must stay serial
   // inside each replica: ThreadPool::ParallelFor is not reentrant, and
@@ -167,6 +222,7 @@ Result<SimulationResult> RunSimulation(const EvolutionModel& model,
   mining.cancel = config.cancel;
 
   const auto run_replica = [&](size_t k) {
+    if (restored[k]) return;  // completed by a prior attempt
     if (CancelToken::ShouldStop(config.cancel)) {
       statuses[k] = CancelToken::Check(config.cancel);
       return;
@@ -210,6 +266,34 @@ Result<SimulationResult> RunSimulation(const EvolutionModel& model,
     retries[k] = attempt;
     statuses[k] = std::move(status);
     if (statuses[k].ok()) replicas_run->Increment();
+
+    if (journal != nullptr) {
+      Status appended;
+      // A tripped token may have truncated this replica's *mining* mid-way
+      // (CombinationCurve returns partial curves on cancellation, and the
+      // whole aggregate is discarded with kCancelled anyway) — such a
+      // replica must not be journaled as complete. Cancellation is
+      // monotonic, so an untripped token here proves mining ran whole.
+      if (statuses[k].ok() && !CancelToken::ShouldStop(config.cancel)) {
+        ReplicaCheckpoint checkpoint;
+        checkpoint.replica = static_cast<int>(k);
+        checkpoint.retries = attempt;
+        checkpoint.ingredient = ingredient_curves[k].values();
+        checkpoint.category = category_curves[k].values();
+        appended = journal->AppendReplica(checkpoint);
+      } else if (attempt >= config.max_replica_retries &&
+                 !CancelToken::ShouldStop(config.cancel)) {
+        // A permanent failure (retry budget exhausted, not a cancellation
+        // artifact) is journaled for RunReport continuity; the replica is
+        // NOT marked complete, so a resume re-runs it.
+        appended = journal->AppendIncident(static_cast<int>(k), statuses[k],
+                                           attempt);
+      }
+      if (!appended.ok()) {
+        std::lock_guard<std::mutex> lock(journal_error_mu);
+        if (journal_error.ok()) journal_error = std::move(appended);
+      }
+    }
   };
 
   if (pool != nullptr) {
@@ -223,13 +307,28 @@ Result<SimulationResult> RunSimulation(const EvolutionModel& model,
 
   // A tripped token invalidates the aggregate: pending replicas were
   // skipped, so report the trip instead of a silently-partial result.
+  // Completed replicas are already durable in the journal, and a final
+  // interrupt record (best-effort — the trip itself matters more than
+  // documenting it) marks why the journal is incomplete.
   if (Status cancelled = CancelToken::Check(config.cancel);
       !cancelled.ok()) {
+    if (journal != nullptr) {
+      (void)journal->AppendInterrupt(cancelled);
+    }
     return cancelled;
   }
+  if (!journal_error.ok()) return journal_error;
 
   RunReport report;
   report.replicas_requested = config.replicas;
+  if (journal != nullptr) {
+    // Ledger continuity: failures journaled by prior attempts of this
+    // logical run stay visible even though their replicas were re-run.
+    for (const IncidentCheckpoint& prior : journal->prior_incidents()) {
+      report.incidents.push_back(ReplicaIncident{
+          prior.replica, IncidentStatus(prior), prior.retries});
+    }
+  }
   const Status* first_failure = nullptr;
   for (size_t k = 0; k < n; ++k) {
     if (statuses[k].ok()) {

@@ -8,6 +8,7 @@
 #include "analysis/combinations.h"
 #include "analysis/rank_frequency.h"
 #include "core/evolution_model.h"
+#include "core/run_journal.h"
 #include "lexicon/lexicon.h"
 #include "util/cancel.h"
 #include "util/status.h"
@@ -43,7 +44,12 @@ struct RunReport {
   int replicas_failed = 0;
   /// Every replica that failed at least one attempt, in replica order.
   /// Entries with an OK status recovered via retry; non-OK entries are
-  /// permanent failures (counted in replicas_failed).
+  /// permanent failures (counted in replicas_failed). On a resumed run
+  /// this also carries incidents journaled by prior attempts of the same
+  /// logical run (the ledger describes the whole run, not just this
+  /// process), so a non-OK prior entry may coexist with a later success
+  /// of the same replica — replicas_failed always reflects the final
+  /// state only.
   std::vector<ReplicaIncident> incidents;
 
   /// True when the aggregate was computed from fewer replicas than asked.
@@ -54,6 +60,11 @@ struct RunReport {
 
 /// Compact JSON rendering of a RunReport (for bench/CLI telemetry).
 std::string RunReportToJson(const RunReport& report);
+
+/// Stable content hash of the mining parameters that change mined output
+/// (support, miner kind). Pools and cancel tokens are execution detail
+/// and excluded — a checkpoint manifest must not depend on them.
+uint64_t HashMiningConfig(const CombinationConfig& mining);
 
 /// Multi-replica simulation settings. The paper aggregates 100 replicas;
 /// benches default lower for the single-core harness and expose a flag.
@@ -83,6 +94,19 @@ struct SimulationConfig {
   /// independent of scheduling (each replica retries inside its own
   /// task).
   int max_replica_retries = 0;
+
+  /// Crash recovery. With `checkpoint.directory` set, every completed
+  /// replica is journaled (file `sim_<model>_c<cuisine>.journal` in that
+  /// directory) and, with `checkpoint.resume`, previously completed
+  /// replicas are restored instead of re-run — the resumed run's curves
+  /// and RunReport are bit-identical to an uninterrupted run of the same
+  /// config. A journal whose manifest does not match this run (model,
+  /// params, seed, replicas, mining, corpus) is refused with
+  /// FailedPrecondition. A journal append failure fails the run (a
+  /// checkpointed run that cannot checkpoint is lying about its
+  /// durability). On cancellation an `interrupt` record is flushed
+  /// best-effort before kCancelled/kDeadlineExceeded is returned.
+  CheckpointOptions checkpoint;
 };
 
 /// Aggregated output of running one model on one cuisine context.

@@ -1,6 +1,14 @@
 #include "core/sweeps.h"
 
+#include <bit>
+#include <functional>
+#include <memory>
+
+#include "core/run_journal.h"
+#include "core/simulation.h"
 #include "util/cancel.h"
+#include "util/hash.h"
+#include "util/strings.h"
 
 namespace culevo {
 namespace {
@@ -23,80 +31,137 @@ Result<SweepPoint> EvaluateOne(const RecipeCorpus& corpus, CuisineId cuisine,
   return point;
 }
 
+/// Shared driver of the four parameter sweeps: runs `apply(params, v)` for
+/// each swept value, checkpointing at sweep-point granularity when
+/// `config.checkpoint` is set (file `sweep_<name>_c<cuisine>.journal`).
+/// Sweep points are the cancellation granule at this level; deeper checks
+/// happen inside RunSimulation.
+Result<std::vector<SweepPoint>> RunSweep(
+    const char* sweep_name, const RecipeCorpus& corpus, CuisineId cuisine,
+    const Lexicon& lexicon, const std::vector<double>& values,
+    const ModelParams& base, const SimulationConfig& config, ThreadPool* pool,
+    const std::function<void(ModelParams&, double)>& apply) {
+  // The per-point evaluations must not journal themselves: the sweep point
+  // is the checkpoint granule here, and child journals would collide
+  // across points (every point runs the same model name).
+  SimulationConfig child = config;
+  child.checkpoint = CheckpointOptions{};
+
+  std::vector<SweepPoint> points(values.size());
+  std::vector<char> done(values.size(), 0);
+  std::unique_ptr<RunJournal> journal;
+  if (config.checkpoint.enabled()) {
+    RunManifest manifest;
+    manifest.run_kind = "sweep";
+    manifest.name = sweep_name;
+    // Identity = base model params + the swept value list: resuming with
+    // different values (or a different base) must be refused, not
+    // silently mixed point-by-index.
+    uint64_t fingerprint =
+        CopyMutateModel(&lexicon, base).ConfigFingerprint();
+    fingerprint = HashCombine(fingerprint, values.size());
+    for (double v : values) {
+      fingerprint = HashCombine(fingerprint, std::bit_cast<uint64_t>(v));
+    }
+    manifest.config_fingerprint = fingerprint;
+    manifest.seed = config.seed;
+    manifest.replicas = config.replicas;
+    manifest.points = static_cast<int>(values.size());
+    manifest.mining_hash = HashMiningConfig(config.mining);
+    Result<CuisineContext> context = ContextFromCorpus(corpus, cuisine);
+    if (!context.ok()) return context.status();
+    manifest.context_hash = HashCuisineContext(context.value(), lexicon);
+
+    const std::string file_name = StrFormat(
+        "sweep_%s_c%d.journal", SanitizeFileToken(sweep_name).c_str(),
+        static_cast<int>(cuisine));
+    Result<std::unique_ptr<RunJournal>> opened =
+        RunJournal::Open(config.checkpoint, file_name, manifest);
+    if (!opened.ok()) return opened.status();
+    journal = std::move(opened).value();
+    for (const SweepPointCheckpoint& restored : journal->restored_points()) {
+      const size_t i = static_cast<size_t>(restored.index);
+      if (restored.index < 0 || i >= values.size() || done[i]) continue;
+      points[i] = SweepPoint{restored.value, restored.mae_ingredient,
+                             restored.mae_category};
+      done[i] = 1;
+    }
+  }
+
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (done[i]) continue;  // completed by a prior attempt
+    if (Status cancelled = CancelToken::Check(config.cancel);
+        !cancelled.ok()) {
+      if (journal != nullptr) (void)journal->AppendInterrupt(cancelled);
+      return cancelled;
+    }
+    ModelParams params = base;
+    apply(params, values[i]);
+    Result<SweepPoint> point =
+        EvaluateOne(corpus, cuisine, lexicon, params, values[i], child, pool);
+    if (!point.ok()) {
+      // Forensic marker of why the journal is incomplete (best-effort).
+      if (journal != nullptr) (void)journal->AppendInterrupt(point.status());
+      return point.status();
+    }
+    points[i] = point.value();
+    if (journal != nullptr) {
+      CULEVO_RETURN_IF_ERROR(journal->AppendSweepPoint(SweepPointCheckpoint{
+          static_cast<int>(i), points[i].value, points[i].mae_ingredient,
+          points[i].mae_category}));
+    }
+  }
+  return points;
+}
+
+std::vector<double> ToDoubles(const std::vector<int>& values) {
+  return std::vector<double>(values.begin(), values.end());
+}
+
 }  // namespace
 
 Result<std::vector<SweepPoint>> SweepMixtureProb(
     const RecipeCorpus& corpus, CuisineId cuisine, const Lexicon& lexicon,
     const std::vector<double>& probs, const ModelParams& base,
     const SimulationConfig& config, ThreadPool* pool) {
-  std::vector<SweepPoint> points;
-  for (double p : probs) {
-    // Sweep points are the cancellation granule at this level; deeper
-    // checks happen inside RunSimulation.
-    CULEVO_RETURN_IF_ERROR(CancelToken::Check(config.cancel));
-    ModelParams params = base;
-    params.policy = ReplacementPolicy::kMixture;
-    params.mixture_cross_prob = p;
-    Result<SweepPoint> point =
-        EvaluateOne(corpus, cuisine, lexicon, params, p, config, pool);
-    if (!point.ok()) return point.status();
-    points.push_back(point.value());
-  }
-  return points;
+  return RunSweep("mixture_prob", corpus, cuisine, lexicon, probs, base,
+                  config, pool, [](ModelParams& params, double p) {
+                    params.policy = ReplacementPolicy::kMixture;
+                    params.mixture_cross_prob = p;
+                  });
 }
 
 Result<std::vector<SweepPoint>> SweepMutationCount(
     const RecipeCorpus& corpus, CuisineId cuisine, const Lexicon& lexicon,
     const std::vector<int>& mutation_counts, const ModelParams& base,
     const SimulationConfig& config, ThreadPool* pool) {
-  std::vector<SweepPoint> points;
-  for (int m : mutation_counts) {
-    CULEVO_RETURN_IF_ERROR(CancelToken::Check(config.cancel));
-    ModelParams params = base;
-    params.mutations = m;
-    Result<SweepPoint> point = EvaluateOne(corpus, cuisine, lexicon, params,
-                                           static_cast<double>(m), config,
-                                           pool);
-    if (!point.ok()) return point.status();
-    points.push_back(point.value());
-  }
-  return points;
+  return RunSweep("mutation_count", corpus, cuisine, lexicon,
+                  ToDoubles(mutation_counts), base, config, pool,
+                  [](ModelParams& params, double m) {
+                    params.mutations = static_cast<int>(m);
+                  });
 }
 
 Result<std::vector<SweepPoint>> SweepInitialPool(
     const RecipeCorpus& corpus, CuisineId cuisine, const Lexicon& lexicon,
     const std::vector<int>& pool_sizes, const ModelParams& base,
     const SimulationConfig& config, ThreadPool* pool) {
-  std::vector<SweepPoint> points;
-  for (int m : pool_sizes) {
-    CULEVO_RETURN_IF_ERROR(CancelToken::Check(config.cancel));
-    ModelParams params = base;
-    params.initial_pool = m;
-    Result<SweepPoint> point = EvaluateOne(corpus, cuisine, lexicon, params,
-                                           static_cast<double>(m), config,
-                                           pool);
-    if (!point.ok()) return point.status();
-    points.push_back(point.value());
-  }
-  return points;
+  return RunSweep("initial_pool", corpus, cuisine, lexicon,
+                  ToDoubles(pool_sizes), base, config, pool,
+                  [](ModelParams& params, double m) {
+                    params.initial_pool = static_cast<int>(m);
+                  });
 }
 
 Result<std::vector<SweepPoint>> SweepSizeMutationRate(
     const RecipeCorpus& corpus, CuisineId cuisine, const Lexicon& lexicon,
     const std::vector<double>& rates, const ModelParams& base,
     const SimulationConfig& config, ThreadPool* pool) {
-  std::vector<SweepPoint> points;
-  for (double rate : rates) {
-    CULEVO_RETURN_IF_ERROR(CancelToken::Check(config.cancel));
-    ModelParams params = base;
-    params.insert_prob = rate;
-    params.delete_prob = rate;
-    Result<SweepPoint> point =
-        EvaluateOne(corpus, cuisine, lexicon, params, rate, config, pool);
-    if (!point.ok()) return point.status();
-    points.push_back(point.value());
-  }
-  return points;
+  return RunSweep("size_mutation_rate", corpus, cuisine, lexicon, rates, base,
+                  config, pool, [](ModelParams& params, double rate) {
+                    params.insert_prob = rate;
+                    params.delete_prob = rate;
+                  });
 }
 
 }  // namespace culevo

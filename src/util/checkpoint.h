@@ -1,0 +1,119 @@
+#ifndef CULEVO_UTIL_CHECKPOINT_H_
+#define CULEVO_UTIL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/file_io.h"
+#include "util/status.h"
+
+namespace culevo {
+
+/// Versioned, checksummed record journal — the durability primitive under
+/// the crash-recovery subsystem (core/run_journal.h builds the domain
+/// layer on top; DESIGN.md §10 documents the format).
+///
+/// On-disk layout, line-oriented so a journal is greppable in a debugger:
+///
+///   CULEVO-JOURNAL 1\n                      header: magic + format version
+///   <checksum-hex16> <payload>\n            one line per record
+///   ...
+///
+/// `checksum` is the FNV-1a 64-bit hash of the payload bytes, printed as
+/// 16 lowercase hex digits. Payloads are opaque to this layer except that
+/// they must not contain '\n'.
+///
+/// Durability model: the journal is *logically* append-only but
+/// *physically* rewritten through WriteFileAtomic on every append, so a
+/// crash at any instant leaves either the previous complete journal or
+/// the new complete journal — never a torn hybrid. The checksums defend
+/// against the failure modes rename-atomicity cannot: bit rot, partial
+/// scribbles by other tools, and files produced by non-atomic writers.
+///
+/// Corruption protocol: ReadJournal verifies records in order and stops at
+/// the first bad one, quarantining it and everything after it (salvaging
+/// a suffix after a bad record could silently resurrect records the
+/// corrupted one superseded). The salvaged prefix is returned; the next
+/// JournalWriter::Open + Append durably rewrites only that prefix.
+
+/// Journal format version understood by this build.
+inline constexpr int kJournalFormatVersion = 1;
+
+/// FNV-1a 64-bit hash of `data` (the journal record checksum).
+uint64_t JournalChecksum(std::string_view data);
+
+/// Outcome of reading a journal file.
+struct JournalContents {
+  /// Verified record payloads, in append order.
+  std::vector<std::string> records;
+  /// Records (including a trailing partial line) dropped by the
+  /// quarantine: everything from the first corrupt record to EOF.
+  int quarantined_records = 0;
+  bool tail_quarantined() const { return quarantined_records > 0; }
+};
+
+/// Reads and verifies `path`. Returns NotFound when the file does not
+/// exist, InvalidArgument when it is not a journal (bad magic), and
+/// FailedPrecondition when the format version is newer than this build
+/// understands. Checksum-invalid or torn records never fail the read:
+/// they quarantine the tail (see above) and are counted both in the
+/// result and in the `ckpt.corrupt_records` metric.
+///
+/// Failpoints: `ckpt.read.journal` (before the file read),
+/// `ckpt.read.corrupt` (when armed, the current record is treated as
+/// corrupt — drives the quarantine path without hand-crafting bit flips).
+Result<JournalContents> ReadJournal(const std::string& path);
+
+/// Serializes one record line (checksum + payload + newline). Exposed for
+/// tests that craft corrupt journals byte-by-byte.
+std::string FormatJournalRecord(std::string_view payload);
+
+/// The journal header line (without trailing newline) for `version`.
+std::string JournalHeader(int version);
+
+/// Appending journal writer. Not thread-safe: callers that append from
+/// worker threads hold their own lock (core/run_journal.h does).
+class JournalWriter {
+ public:
+  struct Options {
+    /// fsync through WriteFileAtomic. The CLI runs durable; tests disable
+    /// to keep tmpfs churn down.
+    bool sync = true;
+  };
+
+  JournalWriter() = default;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Creates (or truncates) the journal at `path`, seeded with `records`
+  /// — pass the salvaged `JournalContents::records` to continue an
+  /// existing journal, or an empty vector to start fresh. The seeded file
+  /// (header + records) is written durably before Open returns, so an
+  /// interrupted run that never appends still leaves a valid journal.
+  Status Open(std::string path, std::vector<std::string> records,
+              Options options);
+  Status Open(std::string path) { return Open(std::move(path), {}, {}); }
+
+  /// Appends one record and durably rewrites the journal. `payload` must
+  /// not contain '\n'. Failpoint: `ckpt.write.record`.
+  Status Append(std::string_view payload);
+
+  const std::string& path() const { return path_; }
+  /// Records currently in the journal (seeded + appended).
+  size_t num_records() const { return num_records_; }
+
+ private:
+  Status Flush();
+
+  std::string path_;
+  std::string content_;  ///< Full serialized journal, header included.
+  size_t num_records_ = 0;
+  Options options_;
+  bool open_ = false;
+};
+
+}  // namespace culevo
+
+#endif  // CULEVO_UTIL_CHECKPOINT_H_

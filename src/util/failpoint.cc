@@ -3,9 +3,21 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.h"
 #include "util/strings.h"
 
 namespace culevo {
+namespace {
+
+/// Counts malformed CULEVO_FAILPOINTS / ArmFromSpec entries, so a fault
+/// run whose spec silently did less than asked is visible in telemetry.
+obs::Counter* ParseErrors() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Get().counter("failpoint.parse_errors");
+  return counter;
+}
+
+}  // namespace
 
 std::atomic<int> Failpoints::armed_count_{0};
 
@@ -30,14 +42,17 @@ namespace {
 
 Failpoints::Failpoints() {
   // Environment arming lets release binaries run the fault suite without
-  // a test harness. A malformed spec is a hard configuration error: the
-  // operator asked for fault injection and did not get it.
+  // a test harness. Malformed entries are warned about (per entry, by
+  // ArmFromSpec) and counted in failpoint.parse_errors; the well-formed
+  // entries still arm, so a typo degrades the fault plan loudly instead
+  // of killing the process before it does any work.
   if (const char* env = std::getenv("CULEVO_FAILPOINTS");
       env != nullptr && *env != '\0') {
     if (Status status = ArmFromSpec(env); !status.ok()) {
-      std::fprintf(stderr, "CULEVO_FAILPOINTS: %s\n",
+      std::fprintf(stderr,
+                   "CULEVO_FAILPOINTS: malformed entries were skipped "
+                   "(first: %s)\n",
                    status.ToString().c_str());
-      std::abort();
     }
   }
 }
@@ -92,58 +107,82 @@ Status Failpoints::EvalSlow(std::string_view name) {
   return state.spec.status;
 }
 
+namespace {
+
+/// Parses one `name[=skip][*fires]` entry into (name, spec).
+Status ParseArmEntry(std::string_view entry, std::string* out_name,
+                     Failpoints::ArmSpec* out_spec) {
+  std::string_view name = entry;
+  Failpoints::ArmSpec arm;
+  // `name[=skip][*fires]` — both numbers optional, in that order.
+  const size_t star = name.find('*');
+  std::string_view fires_str;
+  if (star != std::string_view::npos) {
+    fires_str = name.substr(star + 1);
+    name = name.substr(0, star);
+  }
+  const size_t eq = name.find('=');
+  std::string_view skip_str;
+  if (eq != std::string_view::npos) {
+    skip_str = name.substr(eq + 1);
+    name = name.substr(0, eq);
+  }
+  if (name.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("failpoint spec entry '%.*s' has no name",
+                  static_cast<int>(entry.size()), entry.data()));
+  }
+  long long value = 0;
+  if (!skip_str.empty()) {
+    if (!ParseInt64(skip_str, &value) || value < 0) {
+      return Status::InvalidArgument(
+          StrFormat("failpoint '%.*s': bad skip count '%.*s'",
+                    static_cast<int>(name.size()), name.data(),
+                    static_cast<int>(skip_str.size()), skip_str.data()));
+    }
+    arm.skip = static_cast<int>(value);
+  }
+  if (!fires_str.empty()) {
+    if (!ParseInt64(fires_str, &value) || value < 0) {
+      return Status::InvalidArgument(
+          StrFormat("failpoint '%.*s': bad fire count '%.*s'",
+                    static_cast<int>(name.size()), name.data(),
+                    static_cast<int>(fires_str.size()), fires_str.data()));
+    }
+    arm.fires = static_cast<int>(value);
+  }
+  arm.status = Status::IOError(
+      StrFormat("injected failure at failpoint '%.*s'",
+                static_cast<int>(name.size()), name.data()));
+  *out_name = std::string(name);
+  *out_spec = std::move(arm);
+  return Status::Ok();
+}
+
+}  // namespace
+
 Status Failpoints::ArmFromSpec(std::string_view spec) {
+  Status first_error;
   for (const std::string& raw : Split(spec, ';')) {
     for (const std::string& part : Split(raw, ',')) {
       const std::string_view entry = Trim(part);
       if (entry.empty()) continue;
-      std::string_view name = entry;
+      std::string name;
       ArmSpec arm;
-      // `name[=skip][*fires]` — both numbers optional, in that order.
-      const size_t star = name.find('*');
-      std::string_view fires_str;
-      if (star != std::string_view::npos) {
-        fires_str = name.substr(star + 1);
-        name = name.substr(0, star);
+      if (Status status = ParseArmEntry(entry, &name, &arm); !status.ok()) {
+        // A malformed entry degrades the fault plan — skip it loudly
+        // (stderr + metric) and keep arming the rest, so one typo does
+        // not silently disable every later entry.
+        std::fprintf(stderr, "warning: ignoring failpoint spec entry: %s\n",
+                     status.ToString().c_str());
+        ParseErrors()->Increment();
+        if (first_error.ok()) first_error = std::move(status);
+        continue;
       }
-      const size_t eq = name.find('=');
-      std::string_view skip_str;
-      if (eq != std::string_view::npos) {
-        skip_str = name.substr(eq + 1);
-        name = name.substr(0, eq);
-      }
-      if (name.empty()) {
-        return Status::InvalidArgument(
-            StrFormat("failpoint spec entry '%.*s' has no name",
-                      static_cast<int>(entry.size()), entry.data()));
-      }
-      long long value = 0;
-      if (!skip_str.empty()) {
-        if (!ParseInt64(skip_str, &value) || value < 0) {
-          return Status::InvalidArgument(
-              StrFormat("failpoint '%.*s': bad skip count '%.*s'",
-                        static_cast<int>(name.size()), name.data(),
-                        static_cast<int>(skip_str.size()), skip_str.data()));
-        }
-        arm.skip = static_cast<int>(value);
-      }
-      if (!fires_str.empty()) {
-        if (!ParseInt64(fires_str, &value) || value < 0) {
-          return Status::InvalidArgument(
-              StrFormat("failpoint '%.*s': bad fire count '%.*s'",
-                        static_cast<int>(name.size()), name.data(),
-                        static_cast<int>(fires_str.size()),
-                        fires_str.data()));
-        }
-        arm.fires = static_cast<int>(value);
-      }
-      arm.status = Status::IOError(
-          StrFormat("injected failure at failpoint '%.*s'",
-                    static_cast<int>(name.size()), name.data()));
-      Arm(std::string(name), std::move(arm));
+      Arm(name, std::move(arm));
     }
   }
-  return Status::Ok();
+  return first_error;
 }
 
 }  // namespace culevo

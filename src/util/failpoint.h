@@ -60,8 +60,10 @@ class Failpoints {
 
   /// Parses a CULEVO_FAILPOINTS-style spec and arms each entry. Format:
   /// `name[=skip][*fires]` separated by `;` or `,`. Whitespace around
-  /// entries is ignored. Returns InvalidArgument on a malformed entry
-  /// (already-parsed entries stay armed).
+  /// entries is ignored. A malformed entry is skipped with a stderr
+  /// warning and a `failpoint.parse_errors` metric increment; all
+  /// well-formed entries still arm. Returns the first entry's
+  /// InvalidArgument when anything was skipped, OK otherwise.
   Status ArmFromSpec(std::string_view spec);
 
   /// Evaluates the failpoint: OK (and fast) when unarmed, otherwise the

@@ -1,0 +1,581 @@
+// Resume-protocol tests for the crash-recovery subsystem: the
+// bit-identical resume-equivalence guarantee for every model, manifest
+// mismatch refusals, corruption recovery at the RunSimulation level,
+// RunReport continuity across attempts, and sweep-point checkpointing.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/copy_mutate.h"
+#include "core/null_model.h"
+#include "core/run_journal.h"
+#include "core/simulation.h"
+#include "core/sweeps.h"
+#include "lexicon/world_lexicon.h"
+#include "obs/metrics.h"
+#include "synth/generator.h"
+#include "util/cancel.h"
+#include "util/check.h"
+#include "util/csv.h"
+#include "util/failpoint.h"
+#include "util/rng.h"
+
+namespace culevo {
+namespace {
+
+CuisineContext SmallContext() {
+  CuisineContext context;
+  context.cuisine = 0;
+  for (IngredientId id = 0; id < 100; ++id) {
+    context.ingredients.push_back(id);
+  }
+  context.popularity.assign(100, 0.5);
+  context.mean_recipe_size = 6;
+  context.target_recipes = 160;
+  context.phi = 0.5;
+  return context;
+}
+
+/// Transparent wrapper that trips a CancelToken after a fixed number of
+/// generate calls. Unlike the fault_injection_test variant it delegates
+/// ConfigFingerprint too: a checkpoint written through the wrapper must
+/// be resumable by the bare model, so the wrapper may not change the
+/// run's manifest identity.
+class InterruptModel : public EvolutionModel {
+ public:
+  InterruptModel(const EvolutionModel* inner, CancelToken* token, int fuse)
+      : inner_(inner), token_(token), fuse_(fuse) {}
+
+  std::string name() const override { return inner_->name(); }
+  uint64_t ConfigFingerprint() const override {
+    return inner_->ConfigFingerprint();
+  }
+
+  Status Generate(const CuisineContext& context, uint64_t seed,
+                  GeneratedRecipes* out) const override {
+    return inner_->Generate(context, seed, out);
+  }
+
+  Status GenerateInto(const CuisineContext& context, uint64_t seed,
+                      RecipeStore* store) const override {
+    if (--fuse_ == 0) token_->Cancel();
+    return inner_->GenerateInto(context, seed, store);
+  }
+
+ private:
+  const EvolutionModel* inner_;
+  CancelToken* token_;
+  mutable int fuse_;
+};
+
+/// Transparent wrapper that fails every attempt whose seed is denied,
+/// again preserving the inner model's manifest identity.
+class FlakyModel : public EvolutionModel {
+ public:
+  FlakyModel(const EvolutionModel* inner, std::vector<uint64_t> deny)
+      : inner_(inner), deny_(std::move(deny)) {}
+
+  std::string name() const override { return inner_->name(); }
+  uint64_t ConfigFingerprint() const override {
+    return inner_->ConfigFingerprint();
+  }
+
+  Status Generate(const CuisineContext& context, uint64_t seed,
+                  GeneratedRecipes* out) const override {
+    CULEVO_RETURN_IF_ERROR(CheckSeed(seed));
+    return inner_->Generate(context, seed, out);
+  }
+
+  Status GenerateInto(const CuisineContext& context, uint64_t seed,
+                      RecipeStore* store) const override {
+    CULEVO_RETURN_IF_ERROR(CheckSeed(seed));
+    return inner_->GenerateInto(context, seed, store);
+  }
+
+ private:
+  Status CheckSeed(uint64_t seed) const {
+    for (uint64_t denied : deny_) {
+      if (seed == denied) return Status::Internal("injected replica fault");
+    }
+    return Status::Ok();
+  }
+
+  const EvolutionModel* inner_;
+  std::vector<uint64_t> deny_;
+};
+
+class CheckpointResumeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Failpoints::Get().DisarmAll(); }
+
+  /// A fresh (empty) checkpoint directory unique to this test.
+  std::string FreshDir() {
+    const std::string dir =
+        ::testing::TempDir() + "/culevo_resume_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir);
+    return dir;
+  }
+
+  static SimulationConfig BaseConfig() {
+    SimulationConfig config;
+    config.replicas = 6;
+    config.seed = 33;
+    return config;
+  }
+
+  static CheckpointOptions Checkpointed(const std::string& dir,
+                                        bool resume) {
+    CheckpointOptions options;
+    options.directory = dir;
+    options.resume = resume;
+    options.sync = false;
+    return options;
+  }
+};
+
+void ExpectBitIdentical(const SimulationResult& resumed,
+                        const SimulationResult& golden) {
+  EXPECT_EQ(resumed.ingredient_curve.values(),
+            golden.ingredient_curve.values());
+  EXPECT_EQ(resumed.category_curve.values(),
+            golden.category_curve.values());
+  ASSERT_EQ(resumed.replica_ingredient_curves.size(),
+            golden.replica_ingredient_curves.size());
+  for (size_t k = 0; k < golden.replica_ingredient_curves.size(); ++k) {
+    EXPECT_EQ(resumed.replica_ingredient_curves[k].values(),
+              golden.replica_ingredient_curves[k].values())
+        << "replica " << k;
+  }
+  EXPECT_EQ(RunReportToJson(resumed.report),
+            RunReportToJson(golden.report));
+}
+
+// The core guarantee, for every model the paper evaluates: interrupt a
+// checkpointed run after k < replicas completed, resume, and the final
+// aggregate curves and report are bit-identical to the same run never
+// interrupted.
+TEST_F(CheckpointResumeTest, ResumeEquivalenceForAllModels) {
+  const Lexicon& lexicon = WorldLexicon();
+  const auto cm_r = MakeCmR(&lexicon);
+  const auto cm_c = MakeCmC(&lexicon);
+  const auto cm_m = MakeCmM(&lexicon);
+  const NullModel nm;
+  const std::vector<const EvolutionModel*> models = {cm_r.get(), cm_c.get(),
+                                                     cm_m.get(), &nm};
+  const CuisineContext context = SmallContext();
+  const std::string dir = FreshDir();
+
+  for (const EvolutionModel* model : models) {
+    SimulationConfig config = BaseConfig();
+    Result<SimulationResult> golden =
+        RunSimulation(*model, context, lexicon, config);
+    ASSERT_TRUE(golden.ok()) << model->name();
+
+    // Interrupt mid-run, journaling as we go: the token trips during the
+    // 4th generate call, so some prefix of the replicas completes and the
+    // rest is cancelled. Resume must close the gap whatever the split.
+    CancelToken token;
+    InterruptModel interruptible(model, &token, 4);
+    config.cancel = &token;
+    config.checkpoint = Checkpointed(dir, false);
+    Result<SimulationResult> interrupted =
+        RunSimulation(interruptible, context, lexicon, config);
+    EXPECT_EQ(interrupted.status().code(), StatusCode::kCancelled)
+        << model->name();
+
+    // Resume with the bare model and no cancellation.
+    config.cancel = nullptr;
+    config.checkpoint = Checkpointed(dir, true);
+    Result<SimulationResult> resumed =
+        RunSimulation(*model, context, lexicon, config);
+    ASSERT_TRUE(resumed.ok()) << model->name();
+    ExpectBitIdentical(resumed.value(), golden.value());
+  }
+}
+
+TEST_F(CheckpointResumeTest, ResumeOfCompletedRunRecomputesNothing) {
+  const Lexicon& lexicon = WorldLexicon();
+  const NullModel model;
+  const CuisineContext context = SmallContext();
+  const std::string dir = FreshDir();
+
+  SimulationConfig config = BaseConfig();
+  Result<SimulationResult> golden =
+      RunSimulation(model, context, lexicon, config);
+  ASSERT_TRUE(golden.ok());
+
+  config.checkpoint = Checkpointed(dir, false);
+  ASSERT_TRUE(RunSimulation(model, context, lexicon, config).ok());
+
+  // All replicas restore; the FlakyModel denying *every* replica seed
+  // proves no replica is re-generated.
+  std::vector<uint64_t> all_seeds;
+  for (int k = 0; k < config.replicas; ++k) {
+    all_seeds.push_back(DeriveSeed(config.seed, static_cast<uint64_t>(k)));
+  }
+  FlakyModel deny_all(&model, all_seeds);
+  config.checkpoint = Checkpointed(dir, true);
+  Result<SimulationResult> resumed =
+      RunSimulation(deny_all, context, lexicon, config);
+  ASSERT_TRUE(resumed.ok());
+  ExpectBitIdentical(resumed.value(), golden.value());
+}
+
+TEST_F(CheckpointResumeTest, ResumeWithMissingJournalIsFreshStart) {
+  const Lexicon& lexicon = WorldLexicon();
+  const NullModel model;
+  const CuisineContext context = SmallContext();
+
+  SimulationConfig config = BaseConfig();
+  Result<SimulationResult> golden =
+      RunSimulation(model, context, lexicon, config);
+  ASSERT_TRUE(golden.ok());
+
+  config.checkpoint = Checkpointed(FreshDir(), true);  // nothing to resume
+  Result<SimulationResult> resumed =
+      RunSimulation(model, context, lexicon, config);
+  ASSERT_TRUE(resumed.ok());
+  ExpectBitIdentical(resumed.value(), golden.value());
+}
+
+TEST_F(CheckpointResumeTest, ManifestMismatchesAreRefused) {
+  const Lexicon& lexicon = WorldLexicon();
+  const NullModel model;
+  const CuisineContext context = SmallContext();
+  const std::string dir = FreshDir();
+
+  SimulationConfig config = BaseConfig();
+  config.checkpoint = Checkpointed(dir, false);
+  ASSERT_TRUE(RunSimulation(model, context, lexicon, config).ok());
+
+  config.checkpoint = Checkpointed(dir, true);
+
+  {  // Different base seed.
+    SimulationConfig changed = config;
+    changed.seed = 34;
+    EXPECT_EQ(RunSimulation(model, context, lexicon, changed)
+                  .status()
+                  .code(),
+              StatusCode::kFailedPrecondition);
+  }
+  {  // Different replica count.
+    SimulationConfig changed = config;
+    changed.replicas = 7;
+    EXPECT_EQ(RunSimulation(model, context, lexicon, changed)
+                  .status()
+                  .code(),
+              StatusCode::kFailedPrecondition);
+  }
+  {  // Different mining support.
+    SimulationConfig changed = config;
+    changed.mining.min_relative_support = 0.10;
+    EXPECT_EQ(RunSimulation(model, context, lexicon, changed)
+                  .status()
+                  .code(),
+              StatusCode::kFailedPrecondition);
+  }
+  {  // Different corpus content (same shape, different popularity).
+    CuisineContext changed_context = context;
+    changed_context.popularity[0] = 0.25;
+    EXPECT_EQ(RunSimulation(model, changed_context, lexicon, config)
+                  .status()
+                  .code(),
+              StatusCode::kFailedPrecondition);
+  }
+  // The matching run still resumes fine after all those refusals.
+  EXPECT_TRUE(RunSimulation(model, context, lexicon, config).ok());
+}
+
+// Two CM-M instances print the same name; only ConfigFingerprint can tell
+// them apart — the manifest must refuse cross-parameter resumes.
+TEST_F(CheckpointResumeTest, SameNameDifferentParamsIsRefused) {
+  const Lexicon& lexicon = WorldLexicon();
+  const CuisineContext context = SmallContext();
+  const std::string dir = FreshDir();
+
+  ModelParams params;
+  params.policy = ReplacementPolicy::kMixture;
+  params.mutations = 6;
+  params.mixture_cross_prob = 0.5;
+  const CopyMutateModel half(&lexicon, params);
+  params.mixture_cross_prob = 0.9;
+  const CopyMutateModel ninety(&lexicon, params);
+  ASSERT_EQ(half.name(), ninety.name());
+  ASSERT_NE(half.ConfigFingerprint(), ninety.ConfigFingerprint());
+
+  SimulationConfig config = BaseConfig();
+  config.checkpoint = Checkpointed(dir, false);
+  ASSERT_TRUE(RunSimulation(half, context, lexicon, config).ok());
+
+  config.checkpoint = Checkpointed(dir, true);
+  EXPECT_EQ(RunSimulation(ninety, context, lexicon, config).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(RunSimulation(half, context, lexicon, config).ok());
+}
+
+TEST_F(CheckpointResumeTest, CorruptTailReRunsOnlyAffectedReplicas) {
+  const Lexicon& lexicon = WorldLexicon();
+  const NullModel model;
+  const CuisineContext context = SmallContext();
+  const std::string dir = FreshDir();
+
+  SimulationConfig config = BaseConfig();
+  Result<SimulationResult> golden =
+      RunSimulation(model, context, lexicon, config);
+  ASSERT_TRUE(golden.ok());
+
+  config.checkpoint = Checkpointed(dir, false);
+  ASSERT_TRUE(RunSimulation(model, context, lexicon, config).ok());
+
+  // Bit-flip the last replica record: the quarantine drops it, resume
+  // re-runs that replica, and the final result is still bit-identical.
+  const std::string path = dir + "/sim_nm_c0.journal";
+  Result<std::string> raw = ReadFileToString(path);
+  ASSERT_TRUE(raw.ok());
+  std::string content = raw.value();
+  const size_t last_record = content.rfind("kind=replica");
+  ASSERT_NE(last_record, std::string::npos);
+  content[last_record + 20] ^= 0x40;
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+
+  // Restored replicas must be 5 of 6: deny the five restored seeds to
+  // prove only the quarantined replica is re-generated.
+  std::vector<uint64_t> first_five;
+  for (int k = 0; k < 5; ++k) {
+    first_five.push_back(DeriveSeed(config.seed, static_cast<uint64_t>(k)));
+  }
+  FlakyModel deny_restored(&model, first_five);
+  config.checkpoint = Checkpointed(dir, true);
+  Result<SimulationResult> resumed =
+      RunSimulation(deny_restored, context, lexicon, config);
+  ASSERT_TRUE(resumed.ok());
+  ExpectBitIdentical(resumed.value(), golden.value());
+}
+
+TEST_F(CheckpointResumeTest, CorruptManifestRefusesResume) {
+  const Lexicon& lexicon = WorldLexicon();
+  const NullModel model;
+  const CuisineContext context = SmallContext();
+  const std::string dir = FreshDir();
+
+  SimulationConfig config = BaseConfig();
+  config.checkpoint = Checkpointed(dir, false);
+  ASSERT_TRUE(RunSimulation(model, context, lexicon, config).ok());
+
+  const std::string path = dir + "/sim_nm_c0.journal";
+  Result<std::string> raw = ReadFileToString(path);
+  ASSERT_TRUE(raw.ok());
+  std::string content = raw.value();
+  const size_t manifest = content.find("kind=manifest");
+  ASSERT_NE(manifest, std::string::npos);
+  content[manifest] ^= 0x01;  // corrupts record 0 → nothing certifies the run
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+
+  config.checkpoint = Checkpointed(dir, true);
+  EXPECT_EQ(RunSimulation(model, context, lexicon, config).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CheckpointResumeTest, FormatVersionBumpRefusesResume) {
+  const Lexicon& lexicon = WorldLexicon();
+  const NullModel model;
+  const CuisineContext context = SmallContext();
+  const std::string dir = FreshDir();
+
+  SimulationConfig config = BaseConfig();
+  config.checkpoint = Checkpointed(dir, false);
+  ASSERT_TRUE(RunSimulation(model, context, lexicon, config).ok());
+
+  const std::string path = dir + "/sim_nm_c0.journal";
+  Result<std::string> raw = ReadFileToString(path);
+  ASSERT_TRUE(raw.ok());
+  std::string content = raw.value();
+  const size_t eol = content.find('\n');
+  content.replace(0, eol, JournalHeader(kJournalFormatVersion + 1));
+  ASSERT_TRUE(WriteStringToFile(path, content).ok());
+
+  config.checkpoint = Checkpointed(dir, true);
+  EXPECT_EQ(RunSimulation(model, context, lexicon, config).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// Satellite: RunReport continuity. An attempt that fails a replica
+// permanently journals the incident; after resume, the merged ledger
+// still shows the prior failure even though the replica then succeeded.
+TEST_F(CheckpointResumeTest, PriorAttemptIncidentsSurviveResume) {
+  const Lexicon& lexicon = WorldLexicon();
+  const NullModel inner;
+  const CuisineContext context = SmallContext();
+  const std::string dir = FreshDir();
+
+  SimulationConfig config = BaseConfig();
+  config.replicas = 4;
+
+  // Attempt 1: replica 1 fails permanently under fail-fast.
+  FlakyModel flaky(&inner, {DeriveSeed(config.seed, 1)});
+  config.checkpoint = Checkpointed(dir, false);
+  Result<SimulationResult> attempt1 =
+      RunSimulation(flaky, context, lexicon, config);
+  EXPECT_EQ(attempt1.status().code(), StatusCode::kInternal);
+
+  // Attempt 2 (resume, fault gone): completes, and the ledger reports the
+  // prior attempt's incident alongside a fully-successful final state.
+  config.checkpoint = Checkpointed(dir, true);
+  Result<SimulationResult> attempt2 =
+      RunSimulation(inner, context, lexicon, config);
+  ASSERT_TRUE(attempt2.ok());
+  const RunReport& report = attempt2->report;
+  EXPECT_EQ(report.replicas_succeeded, 4);
+  EXPECT_EQ(report.replicas_failed, 0);
+  ASSERT_EQ(report.incidents.size(), 1u);
+  EXPECT_EQ(report.incidents[0].replica, 1);
+  EXPECT_EQ(report.incidents[0].status.code(), StatusCode::kInternal);
+  EXPECT_NE(report.incidents[0].status.message().find("injected"),
+            std::string::npos);
+
+  // And the curves still match an uninterrupted fault-free run.
+  SimulationConfig plain = BaseConfig();
+  plain.replicas = 4;
+  Result<SimulationResult> golden =
+      RunSimulation(inner, context, lexicon, plain);
+  ASSERT_TRUE(golden.ok());
+  EXPECT_EQ(attempt2->ingredient_curve.values(),
+            golden->ingredient_curve.values());
+}
+
+TEST_F(CheckpointResumeTest, ParallelResumeMatchesSerialGolden) {
+  const Lexicon& lexicon = WorldLexicon();
+  const auto model = MakeCmR(&lexicon);
+  const CuisineContext context = SmallContext();
+  const std::string dir = FreshDir();
+
+  SimulationConfig config = BaseConfig();
+  Result<SimulationResult> golden =
+      RunSimulation(*model, context, lexicon, config);
+  ASSERT_TRUE(golden.ok());
+
+  CancelToken token;
+  InterruptModel interruptible(model.get(), &token, 3);
+  config.cancel = &token;
+  config.checkpoint = Checkpointed(dir, false);
+  ThreadPool pool(3);
+  Result<SimulationResult> interrupted =
+      RunSimulation(interruptible, context, lexicon, config, &pool);
+  EXPECT_EQ(interrupted.status().code(), StatusCode::kCancelled);
+
+  config.cancel = nullptr;
+  config.checkpoint = Checkpointed(dir, true);
+  Result<SimulationResult> resumed =
+      RunSimulation(*model, context, lexicon, config, &pool);
+  ASSERT_TRUE(resumed.ok());
+  ExpectBitIdentical(resumed.value(), golden.value());
+}
+
+// --- Sweep-level checkpointing ---
+
+const RecipeCorpus& SweepCorpus() {
+  static const RecipeCorpus& corpus = []() -> const RecipeCorpus& {
+    const Lexicon& lexicon = WorldLexicon();
+    const CuisineId bn = CuisineFromCode("BN").value();
+    const CuisineProfile profile = BuildCuisineProfile(lexicon, bn, 3);
+    SynthConfig config;
+    RecipeCorpus::Builder builder;
+    CULEVO_CHECK_OK(
+        SynthesizeCuisine(lexicon, profile, config, 400, &builder));
+    return *new RecipeCorpus(builder.Build());
+  }();
+  return corpus;
+}
+
+TEST_F(CheckpointResumeTest, SweepResumesAtPointGranularity) {
+  const CuisineId bn = CuisineFromCode("BN").value();
+  const Lexicon& lexicon = WorldLexicon();
+  ModelParams base;
+  SimulationConfig config;
+  config.replicas = 2;
+  const std::vector<int> counts = {1, 4, 8};
+
+  Result<std::vector<SweepPoint>> golden =
+      SweepMutationCount(SweepCorpus(), bn, lexicon, counts, base, config);
+  ASSERT_TRUE(golden.ok());
+
+  // Interrupt after the first sweep point: the 3rd generate call belongs
+  // to point 1 (2 replicas per point), so point 0 is journaled and point
+  // 1 dies mid-flight.
+  const std::string dir = FreshDir();
+  SimulationConfig interrupted = config;
+  interrupted.checkpoint = Checkpointed(dir, false);
+  Failpoints::ArmSpec spec;
+  spec.skip = 2;
+  Failpoints::Get().Arm("sim.replica.generate", spec);
+  Result<std::vector<SweepPoint>> partial = SweepMutationCount(
+      SweepCorpus(), bn, lexicon, counts, base, interrupted);
+  Failpoints::Get().DisarmAll();
+  EXPECT_FALSE(partial.ok());
+
+  // Resume completes the remaining points; every double is bit-identical.
+  SimulationConfig resumed_config = config;
+  resumed_config.checkpoint = Checkpointed(dir, true);
+  Result<std::vector<SweepPoint>> resumed = SweepMutationCount(
+      SweepCorpus(), bn, lexicon, counts, base, resumed_config);
+  ASSERT_TRUE(resumed.ok());
+  ASSERT_EQ(resumed->size(), golden->size());
+  for (size_t i = 0; i < golden->size(); ++i) {
+    EXPECT_EQ((*resumed)[i].value, (*golden)[i].value);
+    EXPECT_EQ((*resumed)[i].mae_ingredient, (*golden)[i].mae_ingredient);
+    EXPECT_EQ((*resumed)[i].mae_category, (*golden)[i].mae_category);
+  }
+}
+
+TEST_F(CheckpointResumeTest, SweepWithChangedValuesIsRefused) {
+  const CuisineId bn = CuisineFromCode("BN").value();
+  const Lexicon& lexicon = WorldLexicon();
+  ModelParams base;
+  SimulationConfig config;
+  config.replicas = 2;
+  const std::string dir = FreshDir();
+
+  config.checkpoint = Checkpointed(dir, false);
+  ASSERT_TRUE(SweepMutationCount(SweepCorpus(), bn, lexicon, {1, 4}, base,
+                                 config)
+                  .ok());
+
+  config.checkpoint = Checkpointed(dir, true);
+  EXPECT_EQ(SweepMutationCount(SweepCorpus(), bn, lexicon, {1, 8}, base,
+                               config)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(SweepMutationCount(SweepCorpus(), bn, lexicon, {1, 4}, base,
+                                 config)
+                  .ok());
+}
+
+TEST_F(CheckpointResumeTest, CkptMetricsTrackResumes) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  obs::Counter* resumes = registry.counter("ckpt.resumes");
+  obs::Counter* restored = registry.counter("ckpt.replicas_restored");
+  const int64_t resumes0 = resumes->Value();
+  const int64_t restored0 = restored->Value();
+
+  const Lexicon& lexicon = WorldLexicon();
+  const NullModel model;
+  const CuisineContext context = SmallContext();
+  const std::string dir = FreshDir();
+
+  SimulationConfig config = BaseConfig();
+  config.checkpoint = Checkpointed(dir, false);
+  ASSERT_TRUE(RunSimulation(model, context, lexicon, config).ok());
+
+  config.checkpoint = Checkpointed(dir, true);
+  ASSERT_TRUE(RunSimulation(model, context, lexicon, config).ok());
+  EXPECT_EQ(resumes->Value() - resumes0, 1);
+  EXPECT_EQ(restored->Value() - restored0, config.replicas);
+}
+
+}  // namespace
+}  // namespace culevo

@@ -1,0 +1,237 @@
+// Corruption-matrix tests for the generic checksummed journal layer
+// (util/checkpoint.h): roundtrips, torn/bit-flipped tails, version and
+// magic mismatches, failpoint-driven write/read failures, and the
+// quarantine-then-rewrite protocol. Domain-level resume semantics are in
+// checkpoint_resume_test.cc.
+
+#include "util/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/csv.h"
+#include "util/failpoint.h"
+
+namespace culevo {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/culevo_checkpoint_test.journal";
+  }
+  void TearDown() override { Failpoints::Get().DisarmAll(); }
+
+  /// A fresh journal holding `payloads`, written through JournalWriter.
+  void WriteJournal(const std::vector<std::string>& payloads) {
+    JournalWriter writer;
+    JournalWriter::Options options;
+    options.sync = false;
+    ASSERT_TRUE(writer.Open(path_, {}, options).ok());
+    for (const std::string& payload : payloads) {
+      ASSERT_TRUE(writer.Append(payload).ok());
+    }
+  }
+
+  std::string ReadRaw() {
+    Result<std::string> raw = ReadFileToString(path_);
+    EXPECT_TRUE(raw.ok());
+    return raw.ok() ? raw.value() : std::string();
+  }
+
+  std::string path_;
+};
+
+TEST_F(CheckpointTest, ChecksumIsDeterministicAndContentSensitive) {
+  EXPECT_EQ(JournalChecksum("abc"), JournalChecksum("abc"));
+  EXPECT_NE(JournalChecksum("abc"), JournalChecksum("abd"));
+  EXPECT_NE(JournalChecksum(""), JournalChecksum(" "));
+}
+
+TEST_F(CheckpointTest, WriteReadRoundtrip) {
+  WriteJournal({"kind=a x=1", "kind=b y=2", ""});
+  Result<JournalContents> contents = ReadJournal(path_);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->records,
+            (std::vector<std::string>{"kind=a x=1", "kind=b y=2", ""}));
+  EXPECT_EQ(contents->quarantined_records, 0);
+  EXPECT_FALSE(contents->tail_quarantined());
+}
+
+TEST_F(CheckpointTest, OpenSeedsWithExistingRecordsAndFlushesImmediately) {
+  JournalWriter writer;
+  JournalWriter::Options options;
+  options.sync = false;
+  ASSERT_TRUE(writer.Open(path_, {"one", "two"}, options).ok());
+  EXPECT_EQ(writer.num_records(), 2u);
+  // Valid on disk before any Append: an interrupted run that never
+  // completes a record still leaves a resumable journal.
+  Result<JournalContents> contents = ReadJournal(path_);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->records, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST_F(CheckpointTest, MissingFileIsNotFound) {
+  Result<JournalContents> contents =
+      ReadJournal(::testing::TempDir() + "/culevo_no_such.journal");
+  EXPECT_EQ(contents.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, BadMagicIsInvalidArgument) {
+  ASSERT_TRUE(
+      WriteStringToFile(path_, "NOT-A-JOURNAL 1\nwhatever\n").ok());
+  EXPECT_EQ(ReadJournal(path_).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CheckpointTest, NewerFormatVersionIsRefused) {
+  std::string content = JournalHeader(kJournalFormatVersion + 1);
+  content.push_back('\n');
+  content.append(FormatJournalRecord("record"));
+  ASSERT_TRUE(WriteStringToFile(path_, content).ok());
+  EXPECT_EQ(ReadJournal(path_).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CheckpointTest, BitFlipQuarantinesTailButSalvagesPrefix) {
+  WriteJournal({"first", "second", "third"});
+  std::string raw = ReadRaw();
+  // Flip one payload byte of the *second* record.
+  const size_t pos = raw.find("second");
+  ASSERT_NE(pos, std::string::npos);
+  raw[pos] = 'S';
+  ASSERT_TRUE(WriteStringToFile(path_, raw).ok());
+
+  Result<JournalContents> contents = ReadJournal(path_);
+  ASSERT_TRUE(contents.ok());  // corruption never fails the read
+  EXPECT_EQ(contents->records, (std::vector<std::string>{"first"}));
+  EXPECT_EQ(contents->quarantined_records, 2);  // "Second" and "third"
+  EXPECT_TRUE(contents->tail_quarantined());
+}
+
+TEST_F(CheckpointTest, TruncationQuarantinesTornTail) {
+  WriteJournal({"first", "second"});
+  std::string raw = ReadRaw();
+  // Chop mid-way through the last record (drops its newline).
+  raw.resize(raw.size() - 4);
+  ASSERT_TRUE(WriteStringToFile(path_, raw).ok());
+
+  Result<JournalContents> contents = ReadJournal(path_);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->records, (std::vector<std::string>{"first"}));
+  EXPECT_EQ(contents->quarantined_records, 1);
+}
+
+TEST_F(CheckpointTest, TruncatedChecksumReadsAsCorruptNotShortNumber) {
+  WriteJournal({"first"});
+  std::string raw = ReadRaw();
+  // Replace the record line with one whose checksum field is too short.
+  const size_t line_start = raw.find('\n') + 1;
+  raw.resize(line_start);
+  raw += "abc first\n";
+  ASSERT_TRUE(WriteStringToFile(path_, raw).ok());
+
+  Result<JournalContents> contents = ReadJournal(path_);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->records.empty());
+  EXPECT_EQ(contents->quarantined_records, 1);
+}
+
+TEST_F(CheckpointTest, QuarantinedPrefixIsDurablyRewrittenOnContinue) {
+  WriteJournal({"first", "second", "third"});
+  std::string raw = ReadRaw();
+  const size_t pos = raw.find("second");
+  raw[pos] = 'X';
+  ASSERT_TRUE(WriteStringToFile(path_, raw).ok());
+
+  Result<JournalContents> salvaged = ReadJournal(path_);
+  ASSERT_TRUE(salvaged.ok());
+
+  // Continue the journal from the salvaged prefix, as a resuming run
+  // does: the corrupt tail is gone from disk after the next append.
+  JournalWriter writer;
+  JournalWriter::Options options;
+  options.sync = false;
+  ASSERT_TRUE(writer.Open(path_, salvaged->records, options).ok());
+  ASSERT_TRUE(writer.Append("fourth").ok());
+
+  Result<JournalContents> reread = ReadJournal(path_);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread->records, (std::vector<std::string>{"first", "fourth"}));
+  EXPECT_EQ(reread->quarantined_records, 0);
+}
+
+TEST_F(CheckpointTest, PayloadWithNewlineIsRejected) {
+  JournalWriter writer;
+  JournalWriter::Options options;
+  options.sync = false;
+  ASSERT_TRUE(writer.Open(path_, {}, options).ok());
+  EXPECT_EQ(writer.Append("two\nlines").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CheckpointTest, WriteFailpointRollsBackInMemoryImage) {
+  JournalWriter writer;
+  JournalWriter::Options options;
+  options.sync = false;
+  ASSERT_TRUE(writer.Open(path_, {}, options).ok());
+  ASSERT_TRUE(writer.Append("first").ok());
+
+  Failpoints::ArmSpec spec;
+  spec.fires = 1;
+  Failpoints::Get().Arm("ckpt.write.record", spec);
+  EXPECT_FALSE(writer.Append("lost").ok());
+  Failpoints::Get().DisarmAll();
+
+  // The failed record must not be smuggled in by the next success.
+  ASSERT_TRUE(writer.Append("second").ok());
+  Result<JournalContents> contents = ReadJournal(path_);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->records,
+            (std::vector<std::string>{"first", "second"}));
+}
+
+TEST_F(CheckpointTest, ReadFailpointFailsTheRead) {
+  WriteJournal({"first"});
+  Failpoints::Get().Arm("ckpt.read.journal");
+  EXPECT_FALSE(ReadJournal(path_).ok());
+}
+
+TEST_F(CheckpointTest, CorruptFailpointForcesQuarantinePath) {
+  WriteJournal({"first", "second"});
+  // Treats the first record as corrupt without hand-crafting bit flips.
+  Failpoints::Get().Arm("ckpt.read.corrupt");
+  Result<JournalContents> contents = ReadJournal(path_);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->records.empty());
+  EXPECT_EQ(contents->quarantined_records, 2);
+}
+
+TEST_F(CheckpointTest, MetricsCountWritesLoadsAndCorruption) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  obs::Counter* written = registry.counter("ckpt.records_written");
+  obs::Counter* bytes = registry.counter("ckpt.bytes_written");
+  obs::Counter* loaded = registry.counter("ckpt.records_loaded");
+  obs::Counter* corrupt = registry.counter("ckpt.corrupt_records");
+  const int64_t written0 = written->Value();
+  const int64_t bytes0 = bytes->Value();
+  const int64_t loaded0 = loaded->Value();
+  const int64_t corrupt0 = corrupt->Value();
+
+  WriteJournal({"first", "second"});
+  EXPECT_EQ(written->Value() - written0, 2);
+  EXPECT_GT(bytes->Value() - bytes0, 0);
+
+  std::string raw = ReadRaw();
+  raw[raw.find("second")] = 'X';
+  ASSERT_TRUE(WriteStringToFile(path_, raw).ok());
+  ASSERT_TRUE(ReadJournal(path_).ok());
+  EXPECT_EQ(loaded->Value() - loaded0, 1);
+  EXPECT_EQ(corrupt->Value() - corrupt0, 1);
+}
+
+}  // namespace
+}  // namespace culevo

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 namespace culevo {
 namespace {
 
@@ -121,6 +123,28 @@ TEST_F(FailpointTest, ArmFromSpecRejectsMalformedEntries) {
   // Earlier entries in a partially-bad spec stay armed.
   EXPECT_FALSE(Failpoints::Get().ArmFromSpec("test.ok; test.bad=x").ok());
   EXPECT_FALSE(FailpointCheck("test.ok").ok());
+}
+
+// A malformed entry anywhere in the spec must not take down the process
+// (the constructor path parses the CULEVO_FAILPOINTS environment variable
+// before main), and must not shadow well-formed entries *after* it: the
+// bad entry is skipped with a warning, counted in failpoint.parse_errors,
+// and everything parseable still arms.
+TEST_F(FailpointTest, MalformedEntryIsSkippedCountedAndNonFatal) {
+  obs::Counter* parse_errors =
+      obs::MetricsRegistry::Get().counter("failpoint.parse_errors");
+  const int64_t errors0 = parse_errors->Value();
+
+  const Status status =
+      Failpoints::Get().ArmFromSpec("test.bad=x; test.after*1; *2");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(parse_errors->Value() - errors0, 2);
+
+  // The entry after the malformed one armed anyway.
+  EXPECT_FALSE(FailpointCheck("test.after").ok());
+  EXPECT_TRUE(FailpointCheck("test.after").ok());  // fires budget of 1
+  // The malformed names never armed.
+  EXPECT_TRUE(FailpointCheck("test.bad").ok());
 }
 
 TEST_F(FailpointTest, DisarmAllRestoresFastPath) {
