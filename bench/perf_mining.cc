@@ -13,14 +13,21 @@
 //                  (sparse-only, wide root level).
 //
 // With --json <path> it writes BENCH_mining.json (schema documented in
-// EXPERIMENTS.md): one `<workload>_eclat_st_ms` / `_eclat_mt_ms` /
-// `_apriori_ms` median per workload plus itemset counts, so timing
-// regressions AND result drift are diffable across commits. Additional
-// flags: --threads <n> for the parallel miner (default: hardware
-// concurrency), --reps <n> timing repetitions (default 7, median
-// reported). Cross-checks inside the run: every Eclat mode and Apriori
-// (where it is run) must produce identical itemset counts, and the
-// binary exits non-zero if they diverge.
+// EXPERIMENTS.md): `<workload>_eclat_st_ms` / `_eclat_mt_ms` /
+// `_apriori_ms` medians plus `_eclat_st_min_ms` / `_eclat_mt_min_ms`
+// minima per workload plus itemset counts, so timing regressions AND
+// result drift are diffable across commits. Additional flags:
+// --threads <n> for the parallel miner (default: hardware concurrency),
+// --reps <n> timing repetitions (default 7; ST and MT run as
+// back-to-back pairs, median and min reported), --assert-mt-speedup to
+// fail (exit 1) if a workload's MT time regressed past ST in every pair
+// (slack: 5% + 0.05 ms per pair, so a 1-core machine where MT can only
+// tie ST still passes while a real regression trips the gate; pairing
+// cancels shared-host load noise).
+// Cross-checks inside the run: MT output must be bit-identical to ST
+// (same itemsets, same supports, same order), Apriori (where it is run)
+// must report the same itemset count, and the binary exits non-zero on
+// any divergence.
 
 #include <algorithm>
 #include <cstdio>
@@ -101,9 +108,10 @@ TransactionSet HighUniverseTransactions(uint64_t seed) {
   return out;
 }
 
-/// Median wall time of `reps` runs of `fn` in milliseconds.
+/// Wall times of `reps` runs of `fn` in milliseconds, sorted ascending,
+/// so `[0]` is the min and `[size()/2]` the median.
 template <typename Fn>
-double MedianMs(int reps, const Fn& fn) {
+std::vector<double> TimeMs(int reps, const Fn& fn) {
   std::vector<double> samples;
   samples.reserve(static_cast<size_t>(reps));
   for (int r = 0; r < reps; ++r) {
@@ -112,7 +120,28 @@ double MedianMs(int reps, const Fn& fn) {
     samples.push_back(watch.ElapsedMillis());
   }
   std::sort(samples.begin(), samples.end());
+  return samples;
+}
+
+/// Median wall time of `reps` runs of `fn` in milliseconds.
+template <typename Fn>
+double MedianMs(int reps, const Fn& fn) {
+  const std::vector<double> samples = TimeMs(reps, fn);
   return samples[samples.size() / 2];
+}
+
+/// True iff both mining runs produced the same itemsets with the same
+/// supports in the same order (MineEclat output is canonically sorted,
+/// so bit-identical results compare equal element-by-element).
+bool SameItemsets(const std::vector<Itemset>& a,
+                  const std::vector<Itemset>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].support != b[i].support || a[i].items != b[i].items) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -122,6 +151,8 @@ int main(int argc, char** argv) {
   const int reps = static_cast<int>(options.flags.GetInt("reps", 7));
   const size_t threads =
       static_cast<size_t>(options.flags.GetInt("threads", 0));
+  const bool assert_mt_speedup =
+      options.flags.GetBool("assert-mt-speedup", false);
   if (reps <= 0) {
     std::fprintf(stderr, "--reps must be positive\n");
     return 2;
@@ -161,21 +192,38 @@ int main(int argc, char** argv) {
   std::printf("\n%-14s %9s %9s %12s %12s %12s\n", "workload", "txns",
               "itemsets", "eclat_st_ms", "eclat_mt_ms", "apriori_ms");
   bool consistent = true;
+  bool gate_passed = true;
   for (const Workload& w : workloads) {
     reporter.BeginPhase("mine_" + w.name);
-    size_t itemsets_st = 0;
-    const double eclat_st_ms = MedianMs(reps, [&]() {
-      itemsets_st = MineEclat(w.transactions, w.min_support).size();
-    });
-
     EclatOptions parallel;
     parallel.pool = &pool;
-    size_t itemsets_mt = 0;
-    const double eclat_mt_ms = MedianMs(reps, [&]() {
-      itemsets_mt =
-          MineEclat(w.transactions, w.min_support, parallel).size();
-    });
+    // ST and MT are timed as back-to-back pairs so a load spike from a
+    // noisy host slows both runs of a pair about equally; the MT-vs-ST
+    // gate below compares within pairs, where that noise cancels.
+    std::vector<Itemset> st_itemsets;
+    std::vector<Itemset> mt_itemsets;
+    std::vector<double> st_samples;
+    std::vector<double> mt_samples;
+    bool mt_kept_up = false;
+    for (int r = 0; r < reps; ++r) {
+      Stopwatch st_watch;
+      st_itemsets = MineEclat(w.transactions, w.min_support);
+      const double st_ms = st_watch.ElapsedMillis();
+      Stopwatch mt_watch;
+      mt_itemsets = MineEclat(w.transactions, w.min_support, parallel);
+      const double mt_ms = mt_watch.ElapsedMillis();
+      st_samples.push_back(st_ms);
+      mt_samples.push_back(mt_ms);
+      if (mt_ms <= st_ms * 1.05 + 0.05) mt_kept_up = true;
+    }
+    std::sort(st_samples.begin(), st_samples.end());
+    std::sort(mt_samples.begin(), mt_samples.end());
+    const double eclat_st_ms = st_samples[st_samples.size() / 2];
+    const double eclat_st_min_ms = st_samples.front();
+    const double eclat_mt_ms = mt_samples[mt_samples.size() / 2];
+    const double eclat_mt_min_ms = mt_samples.front();
 
+    const size_t itemsets_st = st_itemsets.size();
     size_t itemsets_apriori = itemsets_st;
     double apriori_ms = 0.0;
     if (w.run_apriori) {
@@ -184,12 +232,32 @@ int main(int argc, char** argv) {
       });
     }
 
-    if (itemsets_mt != itemsets_st || itemsets_apriori != itemsets_st) {
+    if (!SameItemsets(st_itemsets, mt_itemsets)) {
       std::fprintf(stderr,
-                   "MINER DISAGREEMENT on %s: st=%zu mt=%zu apriori=%zu\n",
-                   w.name.c_str(), itemsets_st, itemsets_mt,
-                   itemsets_apriori);
+                   "MINER DISAGREEMENT on %s: MT output is not "
+                   "bit-identical to ST (st=%zu mt=%zu itemsets)\n",
+                   w.name.c_str(), itemsets_st, mt_itemsets.size());
       consistent = false;
+    }
+    if (itemsets_apriori != itemsets_st) {
+      std::fprintf(stderr,
+                   "MINER DISAGREEMENT on %s: st=%zu apriori=%zu\n",
+                   w.name.c_str(), itemsets_st, itemsets_apriori);
+      consistent = false;
+    }
+
+    // MT-vs-ST gate: fail only if MT regressed past ST in EVERY
+    // back-to-back pair. One clean pair proves MT keeps up; a genuine
+    // regression (like the one-task-per-root-class design this replaced)
+    // loses every pair regardless of host noise. The slack absorbs fixed
+    // work-stealing setup cost on machines with no real parallelism,
+    // where MT can only tie ST.
+    if (assert_mt_speedup && !mt_kept_up) {
+      std::fprintf(stderr,
+                   "MT REGRESSION on %s: every rep had mt > st * 1.05 + "
+                   "0.05 ms (best: mt_min=%.3f st_min=%.3f)\n",
+                   w.name.c_str(), eclat_mt_min_ms, eclat_st_min_ms);
+      gate_passed = false;
     }
 
     std::printf("%-14s %9zu %9zu %12.3f %12.3f %12.3f\n", w.name.c_str(),
@@ -201,11 +269,18 @@ int main(int argc, char** argv) {
                        static_cast<double>(itemsets_st));
     reporter.AddResult(w.name + "_eclat_st_ms", eclat_st_ms);
     reporter.AddResult(w.name + "_eclat_mt_ms", eclat_mt_ms);
+    reporter.AddResult(w.name + "_eclat_st_min_ms", eclat_st_min_ms);
+    reporter.AddResult(w.name + "_eclat_mt_min_ms", eclat_mt_min_ms);
     if (w.run_apriori) {
       reporter.AddResult(w.name + "_apriori_ms", apriori_ms);
     }
   }
 
+  if (assert_mt_speedup) {
+    std::printf("\nMT-vs-ST gate: %s\n",
+                gate_passed ? "PASS" : "FAIL (see stderr)");
+  }
   const int exit_code = reporter.Finish();
-  return consistent ? exit_code : 1;
+  if (!consistent || !gate_passed) return 1;
+  return exit_code;
 }

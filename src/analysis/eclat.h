@@ -14,19 +14,26 @@ class ThreadPool;
 /// uses; tests pin `density_threshold` to force the pure-dense or
 /// pure-sparse code paths.
 struct EclatOptions {
-  /// When non-null, root-level equivalence classes are mined as independent
-  /// tasks on this pool (per-class arenas and result buffers, merged and
-  /// sorted once at the end — output is identical to the serial path).
-  /// Must not be the pool this call itself is running on: ThreadPool::
-  /// ParallelFor is not reentrant and nested use can deadlock.
+  /// When non-null, mining runs on a work-stealing scheduler: the calling
+  /// thread plus up to pool->num_threads() workers drain subtree-granular
+  /// tasks from per-participant deques, with oversized equivalence classes
+  /// split into independently stealable child tasks. Output is
+  /// bit-identical to the serial path (the mined set of itemsets is
+  /// schedule-independent and the final sort is a total order). Safe to
+  /// pass the pool this call itself runs on: the calling thread can always
+  /// finish all work alone, so nested use degrades to caller-only mining
+  /// instead of deadlocking.
   ThreadPool* pool = nullptr;
 
-  /// When non-null, the miner polls this token between root equivalence
-  /// classes (the cancellation granule) and stops descending into new
-  /// ones once it trips. The returned itemsets are then a PREFIX of the
-  /// mined classes, not the full answer — callers that pass a token are
-  /// expected to detect the trip themselves (CancelToken::Check) and
-  /// discard or label the partial result.
+  /// When non-null, the miner polls this token at task boundaries (between
+  /// root classes when serial; at every steal/subtree boundary when
+  /// parallel) and stops taking on new work once it trips. Subtrees that
+  /// already started always finish, so the partial result is a
+  /// well-formed SUBSET of complete subtrees — sorted, never torn, but not
+  /// the full answer and (in the parallel case) not necessarily a prefix
+  /// of the root classes. Callers that pass a token are expected to detect
+  /// the trip themselves (CancelToken::Check) and discard or label the
+  /// partial result.
   const CancelToken* cancel = nullptr;
 
   /// A tid list with support >= ceil(density_threshold * num_transactions)

@@ -1,0 +1,20 @@
+#include "analysis/mine_scheduler.h"
+
+#include <chrono>
+#include <thread>
+
+namespace culevo::mining::internal {
+
+void Backoff(int idle_rounds) {
+  // Yield first: steals usually succeed within a few rounds because a
+  // task retirement and the next PushBottom are microseconds apart. Only
+  // a participant that has been starved for a while (another worker deep
+  // inside one huge subtree with nothing queued) pays the sleep.
+  if (idle_rounds < 32) {
+    std::this_thread::yield();
+  } else {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+}  // namespace culevo::mining::internal

@@ -1,0 +1,286 @@
+#ifndef CULEVO_ANALYSIS_MINE_SCHEDULER_H_
+#define CULEVO_ANALYSIS_MINE_SCHEDULER_H_
+
+// Work-stealing task scheduler behind the parallel Eclat miner.
+//
+// The previous parallel-mining design submitted one ThreadPool task per
+// root equivalence class. That shape lost to single-threaded mining on
+// every committed workload: tens of thousands of tiny tasks each paid a
+// future + packaged_task + mutex/condvar round trip, every task built its
+// own arena from cold chunks, and a handful of giant classes serialized
+// the tail. This scheduler replaces it:
+//
+//  - The *calling thread participates* in mining. The pool contributes up
+//    to num_threads() extra workers, but the caller alone can finish all
+//    work, so progress never depends on pool scheduling — and calling
+//    from inside a pool worker can no longer deadlock (it degrades to
+//    caller-only mining).
+//  - Each participant owns a StealDeque. New tasks go to the owner's
+//    bottom (LIFO, cache-warm); idle participants steal from the top
+//    (FIFO, oldest and typically largest subtrees first).
+//  - Task spawning is the splitting mechanism: a task body may push child
+//    tasks (subtrees), which is how the miner breaks up oversized
+//    equivalence classes for load balance (see eclat.cc's split-depth
+//    heuristic).
+//  - Cancellation is polled once per task acquisition — the steal /
+//    subtree boundary — so a tripped CancelToken abandons only queued
+//    subtrees; tasks that started always finish and their output stays
+//    well-formed.
+//
+// Determinism: the scheduler guarantees only that the *set* of executed
+// tasks equals the transitive closure of the seeds (when not cancelled).
+// The Eclat caller recovers bit-identical output from any execution order
+// by concatenating per-participant buffers and applying its total-order
+// sort; see eclat.cc.
+//
+// StealDeque uses a plain mutex per deque rather than a lock-free
+// Chase-Lev deque: tasks are subtree-granular (microseconds to
+// milliseconds each), so queue operations are nowhere near the critical
+// path, and a mutex keeps the memory-ordering argument trivial (every
+// push/steal pair synchronizes via the deque's mutex). The TSan preset
+// runs mining_scheduler_test to keep that argument honest.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/cancel.h"
+#include "util/thread_pool.h"
+
+namespace culevo::mining {
+
+namespace internal {
+/// Idle-participant backoff: spins through yields first, then naps, so a
+/// starved participant neither burns a core nor oversleeps a steal.
+void Backoff(int idle_rounds);
+}  // namespace internal
+
+/// Per-participant double-ended task queue. The owner pushes and pops at
+/// the bottom (LIFO); thieves steal from the top (FIFO). Mutex-protected —
+/// see the file comment for why that is the right trade at subtree
+/// granularity.
+template <typename T>
+class StealDeque {
+ public:
+  StealDeque() = default;
+  StealDeque(const StealDeque&) = delete;
+  StealDeque& operator=(const StealDeque&) = delete;
+
+  void PushBottom(T task) {
+    std::lock_guard<std::mutex> lock(mu_);
+    items_.push_back(std::move(task));
+  }
+
+  /// Owner-side pop of the most recently pushed task.
+  bool PopBottom(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.back());
+    items_.pop_back();
+    return true;
+  }
+
+  /// Thief-side steal of the oldest task.
+  bool StealTop(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Racy size snapshot (tests / diagnostics only).
+  size_t SizeApprox() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<T> items_;
+};
+
+/// Outcome of one WorkStealingScheduler::Run.
+struct SchedulerStats {
+  /// True iff every seeded and spawned task executed (no cancellation).
+  bool completed = false;
+  int64_t tasks_executed = 0;
+  /// Tasks acquired from another participant's deque.
+  int64_t tasks_stolen = 0;
+};
+
+/// Runs a dynamic task graph (seeds plus anything the body spawns) across
+/// the calling thread and up to `pool->num_threads()` pool workers.
+///
+/// The body is `void(size_t participant, Task& task, std::vector<Task>*
+/// spawned)` with `participant` in [0, num_participants()); participant 0
+/// is always the calling thread. Bodies on the same participant index run
+/// strictly sequentially, so per-participant state (arena, output buffer)
+/// needs no locking. Spawned tasks are pushed to the executing
+/// participant's own deque after the body returns.
+///
+/// Lifetime: `Run` does not return while any participant can still touch
+/// the body, the cancel token, or per-participant state. Pool tasks that
+/// start after Run finished (stragglers queued behind other pool work)
+/// observe a closed flag on shared, heap-owned state and exit without
+/// touching anything caller-owned.
+template <typename Task>
+class WorkStealingScheduler {
+ public:
+  /// `pool == nullptr` runs everything on the calling thread (used by
+  /// tests; callers with no pool normally keep their dedicated serial
+  /// path). `max_participants` caps the total worker count (0 = caller +
+  /// every pool thread).
+  explicit WorkStealingScheduler(ThreadPool* pool, size_t max_participants = 0)
+      : pool_(pool) {
+    size_t extra = pool != nullptr ? pool->num_threads() : 0;
+    if (max_participants > 0 && extra > max_participants - 1) {
+      extra = max_participants - 1;
+    }
+    participants_ = 1 + extra;
+  }
+
+  size_t num_participants() const { return participants_; }
+
+  template <typename Body>
+  SchedulerStats Run(std::vector<Task> seeds, Body&& body,
+                     const CancelToken* cancel) {
+    SchedulerStats stats;
+    if (seeds.empty()) {
+      stats.completed = !CancelToken::ShouldStop(cancel);
+      return stats;
+    }
+    const size_t num = participants_;
+    auto shared = std::make_shared<Shared>(num);
+    shared->pending.store(seeds.size(), std::memory_order_relaxed);
+    // Round-robin seed distribution: spreads the (support-sorted, hence
+    // size-skewed) root classes across participants so stealing only has
+    // to fix residual imbalance.
+    for (size_t i = 0; i < seeds.size(); ++i) {
+      shared->deques[i % num].PushBottom(std::move(seeds[i]));
+    }
+
+    const auto participate = [&shared, &body, cancel, num](size_t p) {
+      Shared& s = *shared;
+      std::vector<Task> spawned;
+      int64_t executed = 0;
+      int64_t stolen = 0;
+      int idle_rounds = 0;
+      while (true) {
+        // Cancellation granule: the task / steal boundary. Tasks that
+        // already started run to completion, so output is never torn.
+        if (s.stop.load(std::memory_order_relaxed) ||
+            CancelToken::ShouldStop(cancel)) {
+          break;
+        }
+        Task task;
+        bool got = s.deques[p].PopBottom(&task);
+        if (!got) {
+          for (size_t k = 1; k < num && !got; ++k) {
+            got = s.deques[(p + k) % num].StealTop(&task);
+          }
+          if (got) ++stolen;
+        }
+        if (!got) {
+          if (s.pending.load(std::memory_order_acquire) == 0) break;
+          internal::Backoff(++idle_rounds);
+          continue;
+        }
+        idle_rounds = 0;
+        spawned.clear();
+        try {
+          body(p, task, &spawned);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(s.error_mu);
+            if (s.first_error == nullptr) {
+              s.first_error = std::current_exception();
+            }
+          }
+          s.stop.store(true, std::memory_order_relaxed);
+          s.pending.fetch_sub(1, std::memory_order_acq_rel);
+          break;
+        }
+        // Publish children before retiring the parent, so `pending`
+        // cannot transiently read 0 while work remains.
+        if (!spawned.empty()) {
+          s.pending.fetch_add(spawned.size(), std::memory_order_acq_rel);
+          for (Task& t : spawned) s.deques[p].PushBottom(std::move(t));
+        }
+        ++executed;
+        s.pending.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      s.executed.fetch_add(executed, std::memory_order_relaxed);
+      s.stolen.fetch_add(stolen, std::memory_order_relaxed);
+    };
+
+    // Pool workers join through a closed/entered/exited handshake. The
+    // seq_cst pairing below is load-bearing: a straggler that increments
+    // `entered` before observing `closed` is guaranteed visible to the
+    // caller's post-close `entered` read (and the caller then waits for
+    // its exit), while one that observes `closed` first never touches
+    // `participate` / `body` / `cancel`, whose lifetimes end when Run
+    // returns.
+    for (size_t w = 1; w < num; ++w) {
+      pool_->Submit([shared, loop = &participate, p = w]() {
+        if (shared->closed.load(std::memory_order_seq_cst)) return;
+        shared->entered.fetch_add(1, std::memory_order_seq_cst);
+        if (shared->closed.load(std::memory_order_seq_cst)) {
+          shared->exited.fetch_add(1, std::memory_order_seq_cst);
+          return;
+        }
+        (*loop)(p);
+        shared->exited.fetch_add(1, std::memory_order_seq_cst);
+      });
+    }
+
+    participate(0);
+
+    shared->closed.store(true, std::memory_order_seq_cst);
+    while (shared->exited.load(std::memory_order_seq_cst) !=
+           shared->entered.load(std::memory_order_seq_cst)) {
+      std::this_thread::yield();
+    }
+    if (shared->first_error != nullptr) {
+      std::rethrow_exception(shared->first_error);
+    }
+    stats.completed = shared->pending.load(std::memory_order_acquire) == 0;
+    stats.tasks_executed = shared->executed.load(std::memory_order_relaxed);
+    stats.tasks_stolen = shared->stolen.load(std::memory_order_relaxed);
+    return stats;
+  }
+
+ private:
+  /// Heap-owned so straggler pool tasks can safely observe `closed` after
+  /// Run returned. Deques may still hold tasks after a cancelled run;
+  /// they are destroyed with the last shared_ptr reference, so Task may
+  /// own heap state (the miner's subtree contexts do) but must not
+  /// reference caller-stack data that a *destructor* would touch.
+  struct Shared {
+    explicit Shared(size_t n) : deques(n) {}
+    std::vector<StealDeque<Task>> deques;
+    std::atomic<size_t> pending{0};
+    std::atomic<bool> stop{false};  ///< Set on body exception.
+    std::atomic<bool> closed{false};
+    std::atomic<size_t> entered{0};
+    std::atomic<size_t> exited{0};
+    std::atomic<int64_t> executed{0};
+    std::atomic<int64_t> stolen{0};
+    std::mutex error_mu;
+    std::exception_ptr first_error;
+  };
+
+  ThreadPool* pool_;
+  size_t participants_ = 1;
+};
+
+}  // namespace culevo::mining
+
+#endif  // CULEVO_ANALYSIS_MINE_SCHEDULER_H_

@@ -2,8 +2,19 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 
 #include "util/check.h"
+
+// ThreadSanitizer's runtime initializes after ifunc resolvers run, so a
+// target_clones dispatcher (or any instrumented code reached during early
+// startup) segfaults before main under TSan. Kernel ISA dispatch is
+// irrelevant to race coverage, so TSan builds take the portable paths.
+#if defined(__x86_64__) && defined(__linux__) && defined(__GNUC__) && \
+    !defined(__SANITIZE_THREAD__)
+#define CULEVO_X86_SIMD 1
+#include <immintrin.h>
+#endif
 
 // The dense kernels are pure AND+popcount loops whose throughput is set by
 // the instruction set the compiler may assume. The portable x86-64 baseline
@@ -12,7 +23,7 @@
 // compiled into per-ISA clones resolved once at load time (ifunc): an AVX2
 // clone, a POPCNT clone, and the portable default. Non-x86 targets lower
 // std::popcount natively and get the plain definition.
-#if defined(__x86_64__) && defined(__linux__) && defined(__GNUC__)
+#ifdef CULEVO_X86_SIMD
 #define CULEVO_POPCOUNT_CLONES \
   __attribute__((target_clones("avx2", "popcnt", "default")))
 #else
@@ -53,9 +64,11 @@ size_t IntersectDenseDense(const uint64_t* a, const uint64_t* b,
                            uint64_t* out) {
   // The abort bound is checked once per block, not per word, so the inner
   // loop is a branch-free AND+popcount the vectorizer can unroll. Checking
-  // later than word-by-word never changes the result: any scan that would
-  // have aborted mid-block still ends with count < min_support and is
-  // caught by a later check or the final comparison.
+  // later than word-by-word never changes which scans finish below
+  // min_support; it only delays where an unreachable bound is noticed.
+  // kAborted is returned only with input still unread — a completed scan
+  // reports its exact count (callers tally early_aborts per aborted
+  // kernel, so "finished but infrequent" must stay distinguishable).
   constexpr size_t kBlockWords = 8;
   size_t count = 0;
   size_t i = 0;
@@ -68,14 +81,16 @@ size_t IntersectDenseDense(const uint64_t* a, const uint64_t* b,
     }
     count += block;
     i += kBlockWords;
-    if (count + 64 * (num_words - i) < min_support) return kAborted;
+    if (i < num_words && count + 64 * (num_words - i) < min_support) {
+      return kAborted;
+    }
   }
   for (; i < num_words; ++i) {
     const uint64_t w = a[i] & b[i];
     out[i] = w;
     count += static_cast<size_t>(std::popcount(w));
   }
-  return count < min_support ? kAborted : count;
+  return count;
 }
 
 CULEVO_POPCOUNT_CLONES
@@ -125,7 +140,121 @@ size_t GallopIntersect(const uint32_t* small_v, size_t small_len,
   return count;
 }
 
+// ---------------------------------------------------------------------------
+// Blocked window kernel.
+//
+// Every ISA variant runs the identical outer loop — per a element: abort
+// check, skip whole 8-tid b windows while the window maximum is still
+// below the probe, then test the window for the probe. Only the window
+// test differs (one 256-bit compare / two 128-bit compares / a scalar
+// scan), so abort points and results are ISA-independent.
+
+template <typename WindowProbe>
+inline size_t BlockedIntersectLoop(const uint32_t* a, size_t a_len,
+                                   const uint32_t* b, size_t b_len,
+                                   size_t min_support, uint32_t* out,
+                                   const WindowProbe& probe) {
+  constexpr size_t kWindow = 8;
+  size_t count = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a_len; ++i) {
+    if (count + (a_len - i) < min_support) return kAborted;
+    const uint32_t key = a[i];
+    while (j + kWindow <= b_len && b[j + kWindow - 1] < key) j += kWindow;
+    if (j + kWindow <= b_len) {
+      if (probe(b + j, key)) out[count++] = key;
+    } else {
+      // Fewer than kWindow b tids remain: finish with a scalar merge.
+      while (j < b_len && b[j] < key) ++j;
+      if (j >= b_len) break;
+      if (b[j] == key) out[count++] = key;
+    }
+  }
+  return count;
+}
+
+[[maybe_unused]] size_t BlockedIntersectScalar(const uint32_t* a, size_t a_len,
+                              const uint32_t* b, size_t b_len,
+                              size_t min_support, uint32_t* out) {
+  return BlockedIntersectLoop(a, a_len, b, b_len, min_support, out,
+                              [](const uint32_t* w, uint32_t key) {
+                                for (size_t k = 0; k < 8; ++k) {
+                                  if (w[k] == key) return true;
+                                }
+                                return false;
+                              });
+}
+
+#ifdef CULEVO_X86_SIMD
+
+size_t BlockedIntersectSse2(const uint32_t* a, size_t a_len,
+                            const uint32_t* b, size_t b_len,
+                            size_t min_support, uint32_t* out) {
+  return BlockedIntersectLoop(
+      a, a_len, b, b_len, min_support, out,
+      [](const uint32_t* w, uint32_t key) {
+        const __m128i vkey = _mm_set1_epi32(static_cast<int>(key));
+        const __m128i w0 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(w));
+        const __m128i w1 =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + 4));
+        const __m128i eq = _mm_or_si128(_mm_cmpeq_epi32(w0, vkey),
+                                        _mm_cmpeq_epi32(w1, vkey));
+        return _mm_movemask_ps(_mm_castsi128_ps(eq)) != 0;
+      });
+}
+
+/// AVX2 variant spells the loop out instead of going through
+/// BlockedIntersectLoop: a lambda body does not inherit the enclosing
+/// function's target("avx2") attribute, so the probe must live directly in
+/// an avx2-targeted function. Control flow is identical to the template.
+__attribute__((target("avx2"))) size_t BlockedIntersectAvx2(
+    const uint32_t* a, size_t a_len, const uint32_t* b, size_t b_len,
+    size_t min_support, uint32_t* out) {
+  constexpr size_t kWindow = 8;
+  size_t count = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a_len; ++i) {
+    if (count + (a_len - i) < min_support) return kAborted;
+    const uint32_t key = a[i];
+    while (j + kWindow <= b_len && b[j + kWindow - 1] < key) j += kWindow;
+    if (j + kWindow <= b_len) {
+      const __m256i vkey = _mm256_set1_epi32(static_cast<int>(key));
+      const __m256i win =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+      const __m256i eq = _mm256_cmpeq_epi32(win, vkey);
+      if (_mm256_movemask_ps(_mm256_castsi256_ps(eq)) != 0) {
+        out[count++] = key;
+      }
+    } else {
+      while (j < b_len && b[j] < key) ++j;
+      if (j >= b_len) break;
+      if (b[j] == key) out[count++] = key;
+    }
+  }
+  return count;
+}
+
+bool HasAvx2() {
+  static const bool has = __builtin_cpu_supports("avx2") != 0;
+  return has;
+}
+
+#endif  // CULEVO_X86_SIMD
+
 }  // namespace
+
+size_t IntersectSparseBlocked(const uint32_t* a, size_t a_len,
+                              const uint32_t* b, size_t b_len,
+                              size_t min_support, uint32_t* out) {
+#ifdef CULEVO_X86_SIMD
+  return HasAvx2() ? BlockedIntersectAvx2(a, a_len, b, b_len, min_support, out)
+                   : BlockedIntersectSse2(a, a_len, b, b_len, min_support,
+                                          out);
+#else
+  return BlockedIntersectScalar(a, a_len, b, b_len, min_support, out);
+#endif
+}
 
 size_t IntersectSparseSparse(const uint32_t* a, size_t a_len,
                              const uint32_t* b, size_t b_len,
@@ -134,28 +263,14 @@ size_t IntersectSparseSparse(const uint32_t* a, size_t a_len,
     std::swap(a, b);
     std::swap(a_len, b_len);
   }
-  if (a_len == 0) return (min_support > 0) ? kAborted : 0;
+  // The result can never exceed the shorter list, so an unreachable bound
+  // is known before reading a single tid.
+  if (a_len < min_support) return kAborted;
+  if (a_len == 0) return 0;
   if (a_len * kGallopRatio < b_len) {
     return GallopIntersect(a, a_len, b, b_len, min_support, out);
   }
-  size_t i = 0;
-  size_t j = 0;
-  size_t count = 0;
-  while (i < a_len && j < b_len) {
-    if (count + std::min(a_len - i, b_len - j) < min_support) {
-      return kAborted;
-    }
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (b[j] < a[i]) {
-      ++j;
-    } else {
-      out[count++] = a[i];
-      ++i;
-      ++j;
-    }
-  }
-  return count;
+  return IntersectSparseBlocked(a, a_len, b, b_len, min_support, out);
 }
 
 size_t IntersectSparseDense(const uint32_t* sparse, size_t sparse_len,

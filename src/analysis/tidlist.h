@@ -118,11 +118,13 @@ class TidArena {
 
 /// out[i] = a[i] & b[i] with a running popcount. Returns the popcount, or
 /// kAborted once popcount-so-far + 64 * remaining_words < min_support
-/// (the bound is evaluated at block granularity so the inner loop stays
-/// vectorizable; a completed scan that ends below min_support also returns
-/// kAborted). `out` must hold `num_words` words and may alias neither
-/// input. On x86-64 Linux this (and PopcountWords) dispatches at load time
-/// to an AVX2/POPCNT clone when the CPU has one.
+/// with input still unread (the bound is evaluated at block granularity so
+/// the inner loop stays vectorizable). A scan that consumes all input
+/// returns its exact count even when that count is below min_support —
+/// kAborted strictly means "stopped early", so callers can count aborts
+/// per aborted kernel invocation. `out` must hold `num_words` words and
+/// may alias neither input. On x86-64 Linux this (and PopcountWords)
+/// dispatches at load time to an AVX2/POPCNT clone when the CPU has one.
 size_t IntersectDenseDense(const uint64_t* a, const uint64_t* b,
                            size_t num_words, size_t min_support,
                            uint64_t* out);
@@ -131,13 +133,28 @@ size_t IntersectDenseDense(const uint64_t* a, const uint64_t* b,
 size_t PopcountWords(const uint64_t* words, size_t num_words);
 
 /// Intersection of two sorted unique tid arrays into `out` (capacity
-/// min(a_len, b_len)). Uses a linear merge, or a galloping probe of the
-/// longer list when the length ratio is >= kGallopRatio. Returns the
-/// result length, or kAborted once matches-so-far + remaining upper bound
-/// < min_support. A completed scan may return a value < min_support.
+/// min(a_len, b_len)). Routes by shape: a galloping probe of the longer
+/// list when the length ratio is >= kGallopRatio, the blocked SIMD-window
+/// kernel otherwise (whose scalar tail handles sub-window lists — short,
+/// mostly-dying intersections want the merge's per-element abort, not a
+/// fixed-cost SIMD setup). Returns the result length, or kAborted when
+/// min(a_len, b_len) < min_support (the result cannot reach the bound
+/// without reading anything) or once matches-so-far + remaining upper
+/// bound < min_support mid-scan. A completed scan may return a value
+/// < min_support. Routing and abort points are ISA-independent.
 size_t IntersectSparseSparse(const uint32_t* a, size_t a_len,
                              const uint32_t* b, size_t b_len,
                              size_t min_support, uint32_t* out);
+
+/// Galloping-free blocked kernel for sparse pairs (`a` no
+/// longer than `b`): for each a element, the b cursor advances one
+/// 8-element window at a time (skip while the window's last tid is still
+/// smaller) and the window is probed with one SIMD equality compare.
+/// Abort check (matches-so-far + remaining a elements < min_support) runs
+/// once per a element in every ISA variant. Exposed for tests.
+size_t IntersectSparseBlocked(const uint32_t* a, size_t a_len,
+                              const uint32_t* b, size_t b_len,
+                              size_t min_support, uint32_t* out);
 
 /// Intersection of a sorted sparse tid array with a dense bitset into
 /// `out` (capacity sparse_len). Abort semantics as above.

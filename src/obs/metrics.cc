@@ -85,16 +85,32 @@ double HistogramStats::Quantile(double q) const {
   if (count <= 0) return 0.0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
-  const int64_t target =
-      static_cast<int64_t>(std::ceil(q * static_cast<double>(count)));
+  const int64_t target = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(q * static_cast<double>(count))));
   int64_t cumulative = 0;
   for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
     cumulative += buckets[i];
-    if (cumulative >= target) {
-      // Clamp the estimate to the observed range so tiny histograms do not
-      // report a bucket bound far above the true maximum.
-      return std::min(Histogram::UpperBoundMs(i), max);
-    }
+    if (cumulative < target) continue;
+    // Interpolate within the bucket instead of reporting its upper bound:
+    // with power-of-two buckets the bound alone is off by up to 2x, and
+    // any quantile that lands in the top (often the overflow) bucket
+    // degenerates to max. Samples are assumed log-uniform inside a
+    // bucket — the max-entropy choice for an exponential grid — so the
+    // estimate moves geometrically from the lower edge: lower * 2^frac,
+    // where frac is the target's rank within this bucket. Bucket 0 has no
+    // positive lower edge (it holds everything <= 2^-10 ms, including 0)
+    // and interpolates linearly instead.
+    const int64_t before = cumulative - buckets[i];
+    const double frac = static_cast<double>(target - before) /
+                        static_cast<double>(buckets[i]);
+    const double lower = i == 0 ? 0.0 : Histogram::UpperBoundMs(i - 1);
+    const double estimate = lower > 0.0
+                                ? lower * std::exp2(frac)
+                                : Histogram::UpperBoundMs(i) * frac;
+    // Clamp to the observed range: the true samples bound every quantile,
+    // and the top bucket's "upper edge" is otherwise unbounded.
+    return std::clamp(estimate, min, max);
   }
   return max;
 }

@@ -82,8 +82,11 @@ struct HistogramStats {
   double mean() const {
     return count > 0 ? sum / static_cast<double>(count) : 0.0;
   }
-  /// Quantile estimate (q in [0, 1]): the upper bound of the bucket that
-  /// contains the q-th sample. Resolution is one power of two.
+  /// Quantile estimate (q in [0, 1]): log-scale interpolation within the
+  /// bucket containing the q-th sample (samples assumed log-uniform inside
+  /// a bucket), clamped to the observed [min, max]. Exact when the bucket
+  /// holds one distinct value at its upper edge; otherwise within the
+  /// bucket's 2x width of the true quantile.
   double Quantile(double q) const;
 };
 

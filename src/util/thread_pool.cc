@@ -68,13 +68,21 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // All bookkeeping for this dequeue lands BEFORE the task body runs.
+    // The task's completion is the only event outside observers can
+    // synchronize with (via its future), so anything recorded after
+    // task() — as tasks_executed used to be — may or may not be visible
+    // in a snapshot taken right after a drain. Recording idle, depth, and
+    // executed together up front keeps them in lockstep: every snapshot
+    // synchronized with task completion sees exactly one idle sample and
+    // one executed increment per dequeued task.
     metrics.worker_idle_ms->Record(idle.ElapsedMillis());
     metrics.queue_depth->Add(-1.0);
+    metrics.tasks_executed->Increment();
     {
       obs::ScopedTimer timer(metrics.task_ms);
       task();
     }
-    metrics.tasks_executed->Increment();
   }
 }
 

@@ -2,11 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
 #include "obs/metrics_json.h"
 #include "obs/scoped_timer.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace culevo {
@@ -54,6 +57,61 @@ TEST(HistogramTest, RecordsBasicStats) {
   // Quantiles are bucketed estimates clamped to the observed max.
   EXPECT_GE(stats.Quantile(0.5), 1.0);
   EXPECT_LE(stats.Quantile(0.99), 4.0);
+}
+
+TEST(HistogramTest, QuantilesTrackExactQuantilesOnSeededSample) {
+  // Regression for the percentile collapse: with coarse power-of-two
+  // buckets the old estimator reported the bucket upper bound, so a heavy
+  // tail pushed p90/p99 to max and p50 to a bound far from the true
+  // median. Interpolation must land every quantile within its bucket's 2x
+  // width of the exact value computed from the raw sample.
+  Rng rng(123457);
+  Histogram histogram;
+  std::vector<double> samples;
+  // Log-uniform spread over ~0.01..160 ms plus a heavy tail, mimicking
+  // the mine.eclat.ms shape that motivated the fix.
+  for (int i = 0; i < 5000; ++i) {
+    const double u = static_cast<double>(rng.NextBounded(1000000)) / 1e6;
+    const double v = 0.01 * std::pow(2.0, u * 14.0);
+    samples.push_back(v);
+    histogram.Record(v);
+  }
+  // One extreme straggler several buckets above the bulk, so max sits in
+  // a bucket of its own and the p90/p99 ranks stay in the dense region.
+  samples.push_back(6144.0);
+  histogram.Record(6144.0);
+  std::sort(samples.begin(), samples.end());
+  const obs::HistogramStats stats = histogram.Snapshot();
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(samples.size()))) - 1;
+    const double exact = samples[rank];
+    const double estimate = stats.Quantile(q);
+    // Within one bucket (factor of 2) of the exact quantile, both sides.
+    EXPECT_LE(estimate, exact * 2.0) << "q=" << q;
+    EXPECT_GE(estimate, exact / 2.0) << "q=" << q;
+  }
+  // The collapse symptom: p90 and p99 pinned at max. With a spread sample
+  // they must now sit strictly below it (and p50 strictly below p99).
+  EXPECT_LT(stats.Quantile(0.9), stats.max);
+  EXPECT_LT(stats.Quantile(0.99), stats.max);
+  EXPECT_LT(stats.Quantile(0.5), stats.Quantile(0.99));
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinOneBucket) {
+  // 100 samples in the (1, 2] ms bucket, log-uniform-ish by construction:
+  // p50 must fall inside the bucket, not at its upper edge, and the
+  // extreme quantiles clamp to the observed min/max.
+  Histogram histogram;
+  for (int i = 0; i < 100; ++i) {
+    histogram.Record(1.0 + static_cast<double>(i) / 100.0);
+  }
+  const obs::HistogramStats stats = histogram.Snapshot();
+  const double p50 = stats.Quantile(0.5);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LT(p50, 2.0);  // Strictly inside the bucket: interpolated.
+  EXPECT_DOUBLE_EQ(stats.Quantile(1.0), stats.max);
+  EXPECT_GE(stats.Quantile(0.0), stats.min);
 }
 
 TEST(HistogramTest, EmptySnapshotIsZero) {

@@ -13,6 +13,7 @@
 #include "analysis/eclat.h"
 #include "analysis/tidlist.h"
 #include "analysis/transactions.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -73,29 +74,41 @@ TEST(DenseKernelTest, ComputesIntersectionAndPopcount) {
 }
 
 TEST(DenseKernelTest, AbortsExactlyWhenBoundUnreachable) {
-  // Word 0 contributes 1 bit, words 1..3 can contribute at most 64 each.
-  // After word 0 the reachable maximum is 1 + 3*64 = 193: min_support 193
-  // must not abort there, 194 must.
-  std::vector<uint64_t> a(4, ~uint64_t{0});
-  std::vector<uint64_t> b = {uint64_t{1}, ~uint64_t{0}, ~uint64_t{0},
-                             ~uint64_t{0}};
-  std::vector<uint64_t> out(4);
-  EXPECT_EQ(mining::IntersectDenseDense(a.data(), b.data(), 4, 193,
+  // The bound is evaluated once per 8-word block. Words 0..7 contribute 1
+  // bit each, words 8..15 up to 64 each: after the first block the
+  // reachable maximum is 8 + 8*64 = 520. min_support 520 must not abort
+  // there (and completes at exactly 520); 521 must abort with half the
+  // input unread.
+  std::vector<uint64_t> a(16, ~uint64_t{0});
+  std::vector<uint64_t> b(16, ~uint64_t{0});
+  for (size_t i = 0; i < 8; ++i) b[i] = uint64_t{1};
+  std::vector<uint64_t> out(16);
+  EXPECT_EQ(mining::IntersectDenseDense(a.data(), b.data(), 16, 520,
                                         out.data()),
-            1u + 3u * 64u);
-  EXPECT_EQ(mining::IntersectDenseDense(a.data(), b.data(), 4, 194,
+            8u + 8u * 64u);
+  EXPECT_EQ(mining::IntersectDenseDense(a.data(), b.data(), 16, 521,
                                         out.data()),
             kAborted);
 }
 
-TEST(DenseKernelTest, CompletedScanBelowSupportReportsAborted) {
-  // The bound check after the final word doubles as the support filter.
+TEST(DenseKernelTest, CompletedScanBelowSupportReportsExactCount) {
+  // kAborted strictly means "stopped with input unread": a scan that
+  // consumes everything reports its exact count even below min_support, so
+  // callers can tell infrequent results from aborted kernels.
   const std::vector<uint64_t> a = {0b11};
   const std::vector<uint64_t> b = {0b01};
-  std::vector<uint64_t> out(1);
+  std::vector<uint64_t> out(8);
   EXPECT_EQ(mining::IntersectDenseDense(a.data(), b.data(), 1, 2,
                                         out.data()),
-            kAborted);
+            1u);
+  // Same at exact block granularity, where the per-block bound check runs
+  // right at the end of input: 8 words, 1 bit each, far below the bound —
+  // still a completed scan, not an abort.
+  std::vector<uint64_t> a8(8, uint64_t{1});
+  std::vector<uint64_t> b8(8, uint64_t{1});
+  EXPECT_EQ(mining::IntersectDenseDense(a8.data(), b8.data(), 8, 600,
+                                        out.data()),
+            8u);
 }
 
 // ---------------------------------------------------------------------------
@@ -166,6 +179,53 @@ TEST(SparseKernelTest, GallopingSubsetAndDisjoint) {
   // With min_support 2 the bound (0 matches + 1 remaining probe) proves
   // failure before the last probe: early abort.
   EXPECT_EQ(RunSparse({1, 3, 799}, large, 2, &out), kAborted);
+}
+
+TEST(SparseKernelTest, BlockedKernelMatchesSetIntersection) {
+  // Differential check of the blocked window kernel across every shape
+  // IntersectSparseSparse routes to it — from single-element lists (all
+  // scalar tail) through pairs straddling the 8-tid window boundary.
+  Rng rng(20260808);
+  for (int round = 0; round < 300; ++round) {
+    const size_t a_len = 1 + rng.NextBounded(48);
+    const size_t b_len = a_len + rng.NextBounded(4 * a_len);
+    std::vector<uint32_t> a;
+    std::vector<uint32_t> b;
+    while (a.size() < a_len) {
+      const uint32_t v = static_cast<uint32_t>(rng.NextBounded(400));
+      if (std::find(a.begin(), a.end(), v) == a.end()) a.push_back(v);
+    }
+    while (b.size() < b_len) {
+      const uint32_t v = static_cast<uint32_t>(rng.NextBounded(400));
+      if (std::find(b.begin(), b.end(), v) == b.end()) b.push_back(v);
+    }
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    std::vector<uint32_t> expected;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expected));
+    std::vector<uint32_t> out(a_len, 0xDEADu);
+    const size_t s = mining::IntersectSparseBlocked(
+        a.data(), a_len, b.data(), b_len, /*min_support=*/0, out.data());
+    ASSERT_EQ(s, expected.size()) << "round " << round;
+    ASSERT_TRUE(std::equal(expected.begin(), expected.end(), out.begin()));
+  }
+}
+
+TEST(SparseKernelTest, BlockedKernelAbortsWhenBoundUnreachable) {
+  // 20 odd probes against 100 evens: no matches. The per-probe bound
+  // check fires as soon as matches-so-far + remaining probes < support.
+  std::vector<uint32_t> a;
+  for (uint32_t i = 0; i < 20; ++i) a.push_back(2 * i + 1);
+  std::vector<uint32_t> b;
+  for (uint32_t i = 0; i < 100; ++i) b.push_back(2 * i);
+  std::vector<uint32_t> out(20);
+  EXPECT_EQ(mining::IntersectSparseBlocked(a.data(), a.size(), b.data(),
+                                           b.size(), 1, out.data()),
+            0u);  // 0 + 1 remaining probe >= 1 until the end: completes.
+  EXPECT_EQ(mining::IntersectSparseBlocked(a.data(), a.size(), b.data(),
+                                           b.size(), 2, out.data()),
+            kAborted);
 }
 
 TEST(GallopFirstGeqTest, FindsFirstNotLessPosition) {
@@ -289,6 +349,125 @@ TEST(MiningEngineTest, ParallelPathHandlesDegenerateInputs) {
   const std::vector<Itemset> result = MineEclat(one, 1, parallel);
   ASSERT_EQ(result.size(), 1u);
   EXPECT_EQ(result[0].items, (std::vector<Item>{3}));
+}
+
+// ---------------------------------------------------------------------------
+// Counter pinning: mine.eclat.* on tiny known databases
+//
+// Each scenario is constructed so the exact kernel-invocation and
+// early-abort counts are derivable by hand AND identical on every
+// platform (routing between kernel variants is ISA-independent, and the
+// scenarios avoid shapes where only some ISAs would abort). These pin the
+// per-invocation counting contract: one increment per kernel call, one
+// early_abort per kernel that stopped with input unread.
+
+/// Deltas of the mine.eclat.* counters across one mining call.
+struct EclatCounterDeltas {
+  int64_t dense = 0;
+  int64_t sparse = 0;
+  int64_t mixed = 0;
+  int64_t aborts = 0;
+  int64_t itemsets = 0;
+};
+
+EclatCounterDeltas MineAndDiffCounters(const TransactionSet& transactions,
+                                       size_t min_support,
+                                       const EclatOptions& options,
+                                       std::vector<Itemset>* result) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  obs::Counter* dense = registry.counter("mine.eclat.dense_intersections");
+  obs::Counter* sparse = registry.counter("mine.eclat.sparse_intersections");
+  obs::Counter* mixed = registry.counter("mine.eclat.mixed_intersections");
+  obs::Counter* aborts = registry.counter("mine.eclat.early_aborts");
+  obs::Counter* itemsets = registry.counter("mine.eclat.itemsets");
+  EclatCounterDeltas deltas;
+  deltas.dense = -dense->Value();
+  deltas.sparse = -sparse->Value();
+  deltas.mixed = -mixed->Value();
+  deltas.aborts = -aborts->Value();
+  deltas.itemsets = -itemsets->Value();
+  *result = MineEclat(transactions, min_support, options);
+  deltas.dense += dense->Value();
+  deltas.sparse += sparse->Value();
+  deltas.mixed += mixed->Value();
+  deltas.aborts += aborts->Value();
+  deltas.itemsets += itemsets->Value();
+  return deltas;
+}
+
+TEST(EclatCounterTest, SparsePathCountsPerIntersectionNotPerProbe) {
+  // Tid lists: item0 -> {0,1,2,3}, item1 -> {0,1,2,3}, item2 -> {0,1,2}.
+  // With min_support 3 every intersection completes and is frequent:
+  // class(2) builds 2 children (2^0, 2^1) + 1 grandchild (2,0 ^ 2,1);
+  // class(0) builds 1 child (0^1); class(1) has no extensions. Exactly 4
+  // sparse kernel calls, zero aborts, 7 itemsets.
+  TransactionSet transactions;
+  transactions.Add({0, 1, 2});
+  transactions.Add({0, 1, 2});
+  transactions.Add({0, 1, 2});
+  transactions.Add({0, 1});
+  EclatOptions sparse_forced;
+  sparse_forced.density_threshold = 2.0;  // every list stays sparse
+  std::vector<Itemset> result;
+  const EclatCounterDeltas d =
+      MineAndDiffCounters(transactions, 3, sparse_forced, &result);
+  EXPECT_EQ(result.size(), 7u);
+  EXPECT_EQ(d.itemsets, 7);
+  EXPECT_EQ(d.sparse, 4);
+  EXPECT_EQ(d.dense, 0);
+  EXPECT_EQ(d.mixed, 0);
+  // The old per-probe accounting reported aborts ~= sparse intersections;
+  // here every scan completes, so the count must be exactly zero.
+  EXPECT_EQ(d.aborts, 0);
+}
+
+TEST(EclatCounterTest, DenseAbortCountsOnlyScansStoppedEarly) {
+  // 1280 transactions (20 words). Item 0 spans tids [0, 650), item 1
+  // spans [550, 1280): overlap 100 < min_support 600. The dense kernel
+  // sees the bound become unreachable after its second 8-word block
+  // (count 100, 4 words unread) and aborts: exactly 1 dense intersection,
+  // 1 early abort, and only the two singleton itemsets.
+  TransactionSet transactions;
+  transactions.Reserve(1280);
+  for (uint32_t tid = 0; tid < 1280; ++tid) {
+    std::vector<Item> t;
+    if (tid < 650) t.push_back(0);
+    if (tid >= 550) t.push_back(1);
+    transactions.Add(std::move(t));
+  }
+  EclatOptions dense_forced;
+  dense_forced.density_threshold = 0.0;  // every list stays dense
+  std::vector<Itemset> result;
+  const EclatCounterDeltas d =
+      MineAndDiffCounters(transactions, 600, dense_forced, &result);
+  EXPECT_EQ(result.size(), 2u);
+  EXPECT_EQ(d.dense, 1);
+  EXPECT_EQ(d.aborts, 1);
+  EXPECT_EQ(d.sparse, 0);
+  EXPECT_EQ(d.mixed, 0);
+}
+
+TEST(EclatCounterTest, MixedPathCompletedScanIsNotAnAbort) {
+  // 64 transactions: item 0 in all of them (dense at threshold 1/2),
+  // item 1 in three (sparse). One mixed intersection that completes with
+  // support 3 >= 2 — frequent, no abort.
+  TransactionSet transactions;
+  transactions.Reserve(64);
+  for (uint32_t tid = 0; tid < 64; ++tid) {
+    std::vector<Item> t = {0};
+    if (tid < 3) t.push_back(1);
+    transactions.Add(std::move(t));
+  }
+  EclatOptions options;
+  options.density_threshold = 0.5;
+  std::vector<Itemset> result;
+  const EclatCounterDeltas d =
+      MineAndDiffCounters(transactions, 2, options, &result);
+  EXPECT_EQ(result.size(), 3u);  // {0}, {1}, {0,1}
+  EXPECT_EQ(d.mixed, 1);
+  EXPECT_EQ(d.aborts, 0);
+  EXPECT_EQ(d.dense, 0);
+  EXPECT_EQ(d.sparse, 0);
 }
 
 TEST(MiningEngineTest, SparseHeavyDatabaseWithLowSupport) {

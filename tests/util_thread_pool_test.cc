@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace culevo {
 namespace {
 
@@ -90,6 +92,33 @@ TEST(ThreadPoolTest, ParallelForUsableAfterThrow) {
   std::atomic<int> hits{0};
   pool.ParallelFor(100, [&hits](size_t) { ++hits; });
   EXPECT_EQ(hits.load(), 100);
+}
+
+// Regression test for the worker_idle_ms off-by-one: the idle sample used
+// to be recorded before task() while tasks_executed was incremented after
+// it, so a snapshot taken right after draining futures could observe one
+// more idle sample than executed tasks. Both are now recorded before the
+// task body, so any future-synchronized snapshot sees matched deltas.
+TEST(ThreadPoolTest, IdleSamplesPairOneToOneWithExecutedTasks) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Get();
+  obs::Counter* executed = registry.counter("threadpool.tasks_executed");
+  obs::Histogram* idle = registry.histogram("threadpool.worker_idle_ms");
+
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    const int64_t executed_before = executed->Value();
+    const int64_t idle_before = idle->Snapshot().count;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 32; ++i) {
+      futures.push_back(pool.Submit([]() {}));
+    }
+    for (auto& f : futures) f.get();
+    // Every completed future's task recorded its idle sample and executed
+    // increment before running, so the deltas must match exactly. (No
+    // other pool is active in this test binary's process at this point.)
+    EXPECT_EQ(executed->Value() - executed_before, 32);
+    EXPECT_EQ(idle->Snapshot().count - idle_before, 32);
+  }
 }
 
 TEST(ThreadPoolTest, DestructorDrainsQueue) {
