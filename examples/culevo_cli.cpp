@@ -9,6 +9,10 @@
 //   culevo_cli export-lexicon <out.tsv>    write the 721-entity lexicon
 //
 // Common flags: --scale, --replicas, --seed (as in the bench harness).
+// Corpus-bearing subcommands also take --load-snapshot <path> (mmap a
+// CULEVO-CORPUS binary snapshot instead of synthesizing the world) and
+// --snapshot <path> (write a snapshot of the corpus they ran on, for
+// fast reloads; see DATA_FORMATS.md).
 // Pass --metrics to dump the process metrics registry (counters, gauges,
 // latency histograms) as JSON on exit. Pass --timeout-ms <n> to bound the
 // whole run with a deadline; Ctrl-C (SIGINT) or SIGTERM (what container
@@ -34,6 +38,7 @@
 #include "core/null_model.h"
 #include "core/recipe_generator.h"
 #include "corpus/corpus_io.h"
+#include "corpus/corpus_snapshot.h"
 #include "corpus/corpus_stats.h"
 #include "corpus/ingestion.h"
 #include "lexicon/lexicon_io.h"
@@ -68,7 +73,10 @@ int Usage() {
          "export-lexicon> [flags]\n"
          "common flags: --scale <0..1> --replicas <n> --seed <n> "
          "--timeout-ms <n> (deadline for the whole run) "
-         "--metrics (dump metrics registry JSON on exit)\n"
+         "--metrics (dump metrics registry JSON on exit) "
+         "--load-snapshot <path> (mmap a CULEVO-CORPUS snapshot instead "
+         "of synthesizing) --snapshot <path> (write a snapshot of the "
+         "corpus used)\n"
          "evaluate flags: --cuisine <code> --tolerate <k> (continue unless "
          "more than k replicas fail) --retries <n> (per-replica retries) "
          "--checkpoint <dir> (journal completed replicas for crash "
@@ -78,10 +86,25 @@ int Usage() {
 }
 
 Result<RecipeCorpus> World(const FlagParser& flags) {
-  SynthConfig config;
-  config.scale = flags.GetDouble("scale", 0.25);
-  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-  return SynthesizeWorldCorpus(WorldLexicon(), config);
+  Result<RecipeCorpus> corpus = [&]() -> Result<RecipeCorpus> {
+    const std::string load = flags.GetString("load-snapshot", "");
+    if (!load.empty()) {
+      Result<LoadedCorpusSnapshot> loaded = LoadCorpusSnapshot(load);
+      if (!loaded.ok()) return loaded.status();
+      return std::move(loaded->corpus);
+    }
+    SynthConfig config;
+    config.scale = flags.GetDouble("scale", 0.25);
+    config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    return SynthesizeWorldCorpus(WorldLexicon(), config);
+  }();
+  if (!corpus.ok()) return corpus;
+  if (const std::string save = flags.GetString("snapshot", "");
+      !save.empty()) {
+    if (Status s = WriteCorpusSnapshot(save, *corpus); !s.ok()) return s;
+    std::cerr << "snapshot written to " << save << "\n";
+  }
+  return corpus;
 }
 
 int RunStats(const FlagParser& flags) {

@@ -7,7 +7,7 @@ std::vector<double> PerRecipeCategoryCounts(const RecipeCorpus& corpus,
                                             Category category,
                                             const Lexicon& lexicon) {
   std::vector<double> out;
-  const std::vector<uint32_t>& indices = corpus.recipes_of(cuisine);
+  const std::span<const uint32_t> indices = corpus.recipes_of(cuisine);
   out.reserve(indices.size());
   for (uint32_t index : indices) {
     int count = 0;
@@ -25,7 +25,7 @@ std::vector<std::array<double, kNumCategories>> CategoryUsageMatrix(
       kNumCuisines, std::array<double, kNumCategories>{});
   for (int c = 0; c < kNumCuisines; ++c) {
     const CuisineId cuisine = static_cast<CuisineId>(c);
-    const std::vector<uint32_t>& indices = corpus.recipes_of(cuisine);
+    const std::span<const uint32_t> indices = corpus.recipes_of(cuisine);
     if (indices.empty()) continue;
     std::array<size_t, kNumCategories> totals{};
     for (uint32_t index : indices) {

@@ -19,7 +19,7 @@ std::vector<PairingEdge> BuildPairingNetwork(const RecipeCorpus& corpus,
                                              CuisineId cuisine,
                                              size_t min_cooccurrences) {
   if (min_cooccurrences == 0) min_cooccurrences = 1;
-  const std::vector<uint32_t>& indices = corpus.recipes_of(cuisine);
+  const std::span<const uint32_t> indices = corpus.recipes_of(cuisine);
   if (indices.empty()) return {};
 
   std::vector<size_t> singles(kInvalidIngredient, 0);

@@ -6,7 +6,7 @@ namespace culevo {
 
 std::vector<OverrepresentationScore> ComputeOverrepresentation(
     const RecipeCorpus& corpus, CuisineId cuisine) {
-  const std::vector<uint32_t>& indices = corpus.recipes_of(cuisine);
+  const std::span<const uint32_t> indices = corpus.recipes_of(cuisine);
   if (indices.empty() || corpus.num_recipes() == 0) return {};
 
   // Recipe-presence counts: per cuisine and world-wide. A recipe counts an

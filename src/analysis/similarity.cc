@@ -11,7 +11,7 @@ namespace {
 /// Presence-fraction vector over the full ingredient id space.
 std::vector<double> UsageVector(const RecipeCorpus& corpus,
                                 CuisineId cuisine) {
-  const std::vector<uint32_t>& indices = corpus.recipes_of(cuisine);
+  const std::span<const uint32_t> indices = corpus.recipes_of(cuisine);
   std::vector<double> usage(kInvalidIngredient, 0.0);
   if (indices.empty()) return usage;
   for (uint32_t index : indices) {

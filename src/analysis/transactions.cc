@@ -35,6 +35,19 @@ TransactionSet IngredientTransactions(const RecipeCorpus& corpus,
   return out;
 }
 
+size_t AppendNewTransactions(IncrementalCorpus& corpus, CuisineId cuisine,
+                             TransactionSet* set) {
+  std::vector<std::vector<IngredientId>> delta =
+      corpus.DrainNewTransactions(cuisine);
+  const size_t appended = delta.size();
+  for (std::vector<IngredientId>& transaction : delta) {
+    // IngredientId and Item are both uint16_t; the ingested sets are
+    // already sorted and unique, which is TransactionSet's contract.
+    set->Add(std::move(transaction));
+  }
+  return appended;
+}
+
 TransactionSet CategoryTransactions(const RecipeCorpus& corpus,
                                     CuisineId cuisine,
                                     const Lexicon& lexicon) {

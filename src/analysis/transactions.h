@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "corpus/ingestion.h"
 #include "corpus/recipe_corpus.h"
 #include "lexicon/lexicon.h"
 
@@ -57,6 +58,13 @@ class TransactionSet {
 /// items = ingredient ids.
 TransactionSet IngredientTransactions(const RecipeCorpus& corpus,
                                       CuisineId cuisine);
+
+/// Drains the recipes appended to `cuisine` since the last drain (see
+/// IncrementalCorpus::DrainNewTransactions) into `set`: a standing mining
+/// input is extended by the ingestion delta instead of being rebuilt from
+/// the whole corpus. Returns the number of transactions appended.
+size_t AppendNewTransactions(IncrementalCorpus& corpus, CuisineId cuisine,
+                             TransactionSet* set);
 
 /// The category transactions of one cuisine: each recipe projected to the
 /// set of distinct categories of its ingredients (the paper's "combinations

@@ -48,7 +48,7 @@ ZipfFit FitZipf(const RankFrequency& curve) {
 
 RankFrequency IngredientPopularityCurve(const RecipeCorpus& corpus,
                                         CuisineId cuisine) {
-  const std::vector<uint32_t>& indices = corpus.recipes_of(cuisine);
+  const std::span<const uint32_t> indices = corpus.recipes_of(cuisine);
   if (indices.empty()) return RankFrequency();
   std::vector<size_t> counts(kInvalidIngredient, 0);
   for (uint32_t index : indices) {

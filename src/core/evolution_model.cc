@@ -30,7 +30,9 @@ Result<CuisineContext> ContextFromCorpus(const RecipeCorpus& corpus,
   }
   CuisineContext context;
   context.cuisine = cuisine;
-  context.ingredients = corpus.UniqueIngredients(cuisine);
+  const std::span<const IngredientId> unique =
+      corpus.UniqueIngredients(cuisine);
+  context.ingredients.assign(unique.begin(), unique.end());
   context.target_recipes = n;
   context.phi = static_cast<double>(context.ingredients.size()) /
                 static_cast<double>(n);

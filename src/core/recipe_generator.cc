@@ -175,7 +175,7 @@ Result<NovelRecipe> RecipeGenerator::Generate(
   }
 
   // 1. Copy a mother recipe (the copy step of culinary evolution).
-  const std::vector<uint32_t>& indices = corpus_->recipes_of(cuisine_);
+  const std::span<const uint32_t> indices = corpus_->recipes_of(cuisine_);
   const std::span<const IngredientId> mother =
       corpus_->ingredients_of(indices[rng_.NextBounded(indices.size())]);
   std::vector<IngredientId> recipe;

@@ -246,7 +246,7 @@ Status EnsureDirectory(const std::string& dir) {
 }
 
 StatusCode CodeFromInt(long long code) {
-  if (code < 0 || code > static_cast<long long>(StatusCode::kDeadlineExceeded)) {
+  if (code < 0 || code > static_cast<long long>(StatusCode::kDataLoss)) {
     return StatusCode::kInternal;
   }
   return static_cast<StatusCode>(code);

@@ -65,8 +65,9 @@ CorpusSplit SplitHalves(const RecipeCorpus& corpus, uint64_t seed) {
   RecipeCorpus::Builder first;
   RecipeCorpus::Builder second;
   for (int c = 0; c < kNumCuisines; ++c) {
-    std::vector<uint32_t> indices =
+    const std::span<const uint32_t> shard =
         corpus.recipes_of(static_cast<CuisineId>(c));
+    std::vector<uint32_t> indices(shard.begin(), shard.end());
     for (size_t i = indices.size(); i > 1; --i) {
       std::swap(indices[i - 1], indices[rng.NextBounded(i)]);
     }

@@ -10,7 +10,7 @@ std::vector<CuisineStats> ComputeCuisineStats(const RecipeCorpus& corpus) {
     const CuisineId cuisine = static_cast<CuisineId>(c);
     CuisineStats& stats = out[static_cast<size_t>(c)];
     stats.cuisine = cuisine;
-    const std::vector<uint32_t>& indices = corpus.recipes_of(cuisine);
+    const std::span<const uint32_t> indices = corpus.recipes_of(cuisine);
     stats.num_recipes = indices.size();
     if (indices.empty()) continue;
 

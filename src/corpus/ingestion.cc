@@ -3,11 +3,29 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.h"
 #include "text/ingredient_parser.h"
 #include "text/stemmer.h"
 #include "util/strings.h"
 
 namespace culevo {
+namespace {
+
+struct IngestMetrics {
+  obs::Counter* recipes;
+  obs::Counter* delta_rebuilds;
+
+  static const IngestMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Get();
+    static const IngestMetrics metrics = {
+        registry.counter("corpus.ingest.recipes"),
+        registry.counter("corpus.ingest.delta_rebuilds"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 Result<RecipeCorpus> IngestRawRecipes(const std::vector<RawRecipe>& raw,
                                       const Lexicon& lexicon,
@@ -83,6 +101,157 @@ std::vector<RawRecipe> ParseRawRecipeText(std::string_view text) {
   }
   flush();
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalCorpus.
+
+IncrementalCorpus::IncrementalCorpus() : stats_(kNumCuisines) {
+  for (int c = 0; c < kNumCuisines; ++c) {
+    stats_[static_cast<size_t>(c)].cuisine = static_cast<CuisineId>(c);
+  }
+  delta_.columns_appended_only = true;
+}
+
+IncrementalCorpus IncrementalCorpus::FromCorpus(
+    const RecipeCorpus& corpus, std::span<const CuisineStats> stats) {
+  IncrementalCorpus out;
+  const std::span<const IngredientId> flat = corpus.flat();
+  const std::span<const uint32_t> offsets = corpus.offsets();
+  const std::span<const CuisineId> cuisines = corpus.cuisines();
+  out.flat_.assign(flat.begin(), flat.end());
+  out.offsets_.assign(offsets.begin(), offsets.end());
+  out.cuisines_.assign(cuisines.begin(), cuisines.end());
+  for (int c = 0; c <= kNumCuisines; ++c) {
+    const std::span<const IngredientId> unique =
+        c < kNumCuisines ? corpus.UniqueIngredients(static_cast<CuisineId>(c))
+                         : corpus.UniqueIngredients();
+    const size_t ci = static_cast<size_t>(c);
+    out.unique_[ci].assign(unique.begin(), unique.end());
+    for (const IngredientId id : unique) {
+      if (out.seen_[ci].size() <= id) out.seen_[ci].resize(id + 1, false);
+      out.seen_[ci][id] = true;
+    }
+    if (c < kNumCuisines) {
+      const std::span<const uint32_t> shard =
+          corpus.recipes_of(static_cast<CuisineId>(c));
+      out.shards_[ci].assign(shard.begin(), shard.end());
+    }
+  }
+  if (stats.empty()) {
+    out.stats_ = ComputeCuisineStats(corpus);
+  } else {
+    out.stats_.assign(stats.begin(), stats.end());
+  }
+  out.SeedSizeSums();
+  return out;
+}
+
+void IncrementalCorpus::SeedSizeSums() {
+  size_sums_.fill(0);
+  for (size_t i = 0; i < cuisines_.size(); ++i) {
+    size_sums_[cuisines_[i]] += offsets_[i + 1] - offsets_[i];
+  }
+}
+
+Status IncrementalCorpus::Add(CuisineId cuisine,
+                              std::span<const IngredientId> ingredients) {
+  if (cuisine >= kNumCuisines) {
+    return Status::InvalidArgument(
+        StrFormat("cuisine id %d out of range", static_cast<int>(cuisine)));
+  }
+  if (ingredients.empty()) {
+    return Status::InvalidArgument("recipe has no ingredients");
+  }
+  scratch_.assign(ingredients.begin(), ingredients.end());
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                 scratch_.end());
+
+  const uint32_t index = static_cast<uint32_t>(cuisines_.size());
+  flat_.insert(flat_.end(), scratch_.begin(), scratch_.end());
+  offsets_.push_back(static_cast<uint32_t>(flat_.size()));
+  cuisines_.push_back(cuisine);
+  shards_[cuisine].push_back(index);
+
+  // Unique lists: a sorted insert only on the first sighting of an id in
+  // each scope, so steady-state appends never shift the lists.
+  for (const size_t scope : {static_cast<size_t>(cuisine),
+                             static_cast<size_t>(kNumCuisines)}) {
+    for (const IngredientId id : scratch_) {
+      if (seen_[scope].size() <= id) seen_[scope].resize(id + 1, false);
+      if (seen_[scope][id]) continue;
+      seen_[scope][id] = true;
+      std::vector<IngredientId>& list = unique_[scope];
+      list.insert(std::lower_bound(list.begin(), list.end(), id), id);
+    }
+  }
+
+  // Stats, maintained exactly as ComputeCuisineStats derives them.
+  CuisineStats& stats = stats_[cuisine];
+  const int size = static_cast<int>(scratch_.size());
+  ++stats.num_recipes;
+  size_sums_[cuisine] += static_cast<uint64_t>(size);
+  stats.mean_recipe_size = static_cast<double>(size_sums_[cuisine]) /
+                           static_cast<double>(stats.num_recipes);
+  if (stats.num_recipes == 1) {
+    stats.min_recipe_size = size;
+    stats.max_recipe_size = size;
+  } else {
+    stats.min_recipe_size = std::min(stats.min_recipe_size, size);
+    stats.max_recipe_size = std::max(stats.max_recipe_size, size);
+  }
+  if (static_cast<size_t>(size) >= stats.size_histogram.size()) {
+    stats.size_histogram.resize(static_cast<size_t>(size) + 1, 0);
+  }
+  ++stats.size_histogram[static_cast<size_t>(size)];
+  stats.num_unique_ingredients = unique_[cuisine].size();
+
+  pending_transactions_[cuisine].push_back(scratch_);
+  delta_.cuisine[cuisine] = true;
+  IngestMetrics::Get().recipes->Increment();
+  return Status::Ok();
+}
+
+std::vector<std::vector<IngredientId>>
+IncrementalCorpus::DrainNewTransactions(CuisineId cuisine) {
+  return std::exchange(pending_transactions_[cuisine], {});
+}
+
+Result<RecipeCorpus> IncrementalCorpus::Materialize() const {
+  RecipeCorpus::Builder builder;
+  builder.Reserve(num_recipes(), num_mentions());
+  for (size_t i = 0; i < cuisines_.size(); ++i) {
+    const std::span<const IngredientId> ingredients(
+        flat_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]);
+    CULEVO_RETURN_IF_ERROR(builder.Add(cuisines_[i], ingredients));
+  }
+  return builder.Build();
+}
+
+Status IncrementalCorpus::WriteSnapshot(const std::string& path,
+                                        const SnapshotWriteOptions& options) {
+  SnapshotWriter::Input input;
+  input.flat = flat_;
+  input.offsets = offsets_;
+  input.cuisines = cuisines_;
+  for (int c = 0; c < kNumCuisines; ++c) {
+    const size_t ci = static_cast<size_t>(c);
+    input.shards[ci] = shards_[ci];
+    input.unique[ci] = unique_[ci];
+  }
+  input.unique[kNumCuisines] = unique_[kNumCuisines];
+  input.stats = stats_;
+
+  int dirty_cuisines = 0;
+  for (const bool dirty : delta_.cuisine) {
+    if (dirty) ++dirty_cuisines;
+  }
+  CULEVO_RETURN_IF_ERROR(writer_.Write(path, input, delta_, options));
+  IngestMetrics::Get().delta_rebuilds->Increment(dirty_cuisines);
+  delta_ = SnapshotWriter::Dirty{};
+  delta_.columns_appended_only = true;
+  return Status::Ok();
 }
 
 }  // namespace culevo

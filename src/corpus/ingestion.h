@@ -1,11 +1,15 @@
 #ifndef CULEVO_CORPUS_INGESTION_H_
 #define CULEVO_CORPUS_INGESTION_H_
 
+#include <array>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "corpus/corpus_snapshot.h"
+#include "corpus/corpus_stats.h"
 #include "corpus/recipe_corpus.h"
 #include "lexicon/lexicon.h"
 #include "util/status.h"
@@ -55,6 +59,114 @@ Result<RecipeCorpus> IngestRawRecipes(const std::vector<RawRecipe>& raw,
 /// line of a block = cuisine code, following lines = ingredient lines.
 /// '#' lines are comments.
 std::vector<RawRecipe> ParseRawRecipeText(std::string_view text);
+
+/// Append-friendly corpus for continuous million-recipe ingestion.
+///
+/// RecipeCorpus is immutable after Build(): absorbing one new batch means
+/// re-running the builder, the shard construction, the unique-ingredient
+/// scan, and ComputeCuisineStats over the whole store. IncrementalCorpus
+/// instead maintains every derived structure under appends:
+///
+///   - the CSR columns (flat / offsets / cuisines) only ever grow,
+///   - each cuisine's recipe-index shard and sorted unique-ingredient list
+///     are updated in place per recipe,
+///   - CuisineStats (count, mean, min/max, size histogram, unique count)
+///     are maintained incrementally and stay bit-identical to what
+///     ComputeCuisineStats would return on the materialized corpus,
+///   - newly ingested recipes queue per cuisine as mining-transaction
+///     deltas (DrainNewTransactions), so a miner's TransactionSet is
+///     extended instead of rebuilt,
+///   - snapshots go through a persistent SnapshotWriter with per-cuisine
+///     dirty tracking: clean sections reuse their cached serialization and
+///     checksum, append-only columns resume their checksum state.
+///
+/// Metrics: `corpus.ingest.recipes` (appended recipes),
+/// `corpus.ingest.delta_rebuilds` (dirty-cuisine section groups
+/// re-serialized across WriteSnapshot calls).
+///
+/// Not thread-safe; one writer at a time.
+class IncrementalCorpus {
+ public:
+  IncrementalCorpus();
+
+  /// Seeds from a finalized corpus (copies the columns and indexes).
+  /// `stats` must be ComputeCuisineStats output for `corpus` when
+  /// provided; when empty it is computed here.
+  static IncrementalCorpus FromCorpus(const RecipeCorpus& corpus,
+                                      std::span<const CuisineStats> stats = {});
+
+  /// Appends one recipe; semantics match RecipeCorpus::Builder::Add
+  /// (ingredients are copied, deduplicated and sorted; empty recipes and
+  /// out-of-range cuisines are rejected).
+  Status Add(CuisineId cuisine, std::span<const IngredientId> ingredients);
+
+  size_t num_recipes() const { return cuisines_.size(); }
+  size_t num_mentions() const { return flat_.size(); }
+
+  /// Indices of all recipes in `cuisine`, ascending.
+  std::span<const uint32_t> recipes_of(CuisineId cuisine) const {
+    return shards_[cuisine];
+  }
+  /// Sorted distinct ingredient ids of `cuisine` / of the whole corpus.
+  std::span<const IngredientId> UniqueIngredients(CuisineId cuisine) const {
+    return unique_[cuisine];
+  }
+  std::span<const IngredientId> UniqueIngredients() const {
+    return unique_[kNumCuisines];
+  }
+
+  /// Per-cuisine statistics, maintained incrementally. Bit-identical to
+  /// ComputeCuisineStats(Materialize()).
+  const std::vector<CuisineStats>& stats() const { return stats_; }
+  const CuisineStats& stats_of(CuisineId cuisine) const {
+    return stats_[cuisine];
+  }
+
+  /// Moves out the (sorted, unique) ingredient sets of every recipe
+  /// appended to `cuisine` since the last drain — the delta to feed a
+  /// standing TransactionSet (analysis/transactions.h has the wiring).
+  std::vector<std::vector<IngredientId>> DrainNewTransactions(
+      CuisineId cuisine);
+
+  /// Builds an owned, finalized RecipeCorpus from the current contents.
+  /// O(corpus); for handing the data to code that wants the immutable
+  /// type. Snapshots and stats do not need this.
+  Result<RecipeCorpus> Materialize() const;
+
+  /// Writes a `CULEVO-CORPUS 1` snapshot of the current contents.
+  /// Sections untouched since this object's previous WriteSnapshot reuse
+  /// their cached serialization (see SnapshotWriter); a first write — or a
+  /// writer invalidation — serializes everything.
+  Status WriteSnapshot(const std::string& path,
+                       const SnapshotWriteOptions& options = {});
+
+ private:
+  void SeedSizeSums();
+
+  // CSR columns (append-only).
+  std::vector<IngredientId> flat_;
+  std::vector<uint32_t> offsets_ = {0};
+  std::vector<CuisineId> cuisines_;
+  // Derived per-cuisine indexes, updated per Add.
+  std::array<std::vector<uint32_t>, kNumCuisines> shards_;
+  std::array<std::vector<IngredientId>, kNumCuisines + 1> unique_;
+  /// seen_[c][id] == id already in unique_[c] (membership bitmap so the
+  /// sorted insert runs only on first sight of an id).
+  std::array<std::vector<bool>, kNumCuisines + 1> seen_;
+  std::vector<CuisineStats> stats_;
+  /// Exact per-cuisine mention totals (mean_recipe_size = sum / count,
+  /// the same division ComputeCuisineStats performs).
+  std::array<uint64_t, kNumCuisines> size_sums_{};
+  /// Undrained mining-transaction deltas per cuisine.
+  std::array<std::vector<std::vector<IngredientId>>, kNumCuisines>
+      pending_transactions_;
+  std::vector<IngredientId> scratch_;
+
+  SnapshotWriter writer_;
+  /// Cuisines touched since the last successful WriteSnapshot. Columns
+  /// only ever append here, so columns_appended_only stays true.
+  SnapshotWriter::Dirty delta_;
+};
 
 }  // namespace culevo
 

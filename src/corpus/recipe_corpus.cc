@@ -1,6 +1,7 @@
 #include "corpus/recipe_corpus.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.h"
 #include "util/strings.h"
@@ -25,18 +26,201 @@ Status RecipeCorpus::Builder::Add(CuisineId cuisine,
   return Status::Ok();
 }
 
+Status RecipeCorpus::Builder::Add(CuisineId cuisine,
+                                  std::span<const IngredientId> ingredients) {
+  if (cuisine >= kNumCuisines) {
+    return Status::InvalidArgument(
+        StrFormat("cuisine id %u out of range", unsigned{cuisine}));
+  }
+  scratch_.assign(ingredients.begin(), ingredients.end());
+  std::sort(scratch_.begin(), scratch_.end());
+  scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                 scratch_.end());
+  if (scratch_.empty()) {
+    return Status::InvalidArgument("recipe has no ingredients");
+  }
+  flat_.insert(flat_.end(), scratch_.begin(), scratch_.end());
+  offsets_.push_back(static_cast<uint32_t>(flat_.size()));
+  cuisines_.push_back(cuisine);
+  return Status::Ok();
+}
+
+void RecipeCorpus::Builder::Reserve(size_t num_recipes, size_t num_mentions) {
+  flat_.reserve(num_mentions);
+  offsets_.reserve(num_recipes + 1);
+  cuisines_.reserve(num_recipes);
+}
+
+namespace {
+
+/// Scratch for distinct-ingredient passes: epoch-marked so 26 passes share
+/// one allocation without clearing between them.
+struct SeenScratch {
+  std::vector<uint32_t> epoch_of;
+  uint32_t epoch = 0;
+
+  explicit SeenScratch(size_t universe) : epoch_of(universe, 0) {}
+
+  void NextPass() { ++epoch; }
+  bool MarkSeen(IngredientId id) {
+    if (epoch_of[id] == epoch) return false;
+    epoch_of[id] = epoch;
+    return true;
+  }
+};
+
+size_t UniverseOf(std::span<const IngredientId> flat) {
+  IngredientId max_id = 0;
+  for (IngredientId id : flat) max_id = std::max(max_id, id);
+  return static_cast<size_t>(max_id) + 1;
+}
+
+}  // namespace
+
 RecipeCorpus RecipeCorpus::Builder::Build() {
   RecipeCorpus corpus;
-  corpus.flat_ = std::move(flat_);
-  corpus.offsets_ = std::move(offsets_);
-  corpus.cuisines_ = std::move(cuisines_);
-  for (uint32_t i = 0; i < corpus.cuisines_.size(); ++i) {
-    corpus.by_cuisine_[corpus.cuisines_[i]].push_back(i);
-  }
+  Storage& s = corpus.storage_;
+  s.flat = std::move(flat_);
+  s.offsets = std::move(offsets_);
+  s.cuisines = std::move(cuisines_);
   flat_.clear();
   offsets_ = {0};
   cuisines_.clear();
+
+  const size_t n = s.cuisines.size();
+
+  // Cuisine shards: counting sort keeps each shard ascending.
+  s.shard_offsets.assign(kNumCuisines + 1, 0);
+  for (CuisineId c : s.cuisines) ++s.shard_offsets[c + 1];
+  for (int c = 0; c < kNumCuisines; ++c) {
+    s.shard_offsets[static_cast<size_t>(c) + 1] +=
+        s.shard_offsets[static_cast<size_t>(c)];
+  }
+  s.shard_index.resize(n);
+  {
+    std::vector<uint32_t> cursor(s.shard_offsets.begin(),
+                                 s.shard_offsets.end() - 1);
+    for (uint32_t i = 0; i < n; ++i) {
+      s.shard_index[cursor[s.cuisines[i]]++] = i;
+    }
+  }
+
+  // Cached unique-ingredient lists: one per cuisine plus the corpus-wide
+  // list, flattened back to back.
+  SeenScratch seen(UniverseOf(s.flat));
+  s.unique_offsets.assign(1, 0);
+  s.unique_flat.clear();
+  for (int c = 0; c <= kNumCuisines; ++c) {
+    seen.NextPass();
+    const size_t begin = s.unique_flat.size();
+    if (c < kNumCuisines) {
+      const size_t lo = s.shard_offsets[static_cast<size_t>(c)];
+      const size_t hi = s.shard_offsets[static_cast<size_t>(c) + 1];
+      for (size_t k = lo; k < hi; ++k) {
+        const uint32_t index = s.shard_index[k];
+        for (size_t m = s.offsets[index]; m < s.offsets[index + 1]; ++m) {
+          const IngredientId id = s.flat[m];
+          if (seen.MarkSeen(id)) s.unique_flat.push_back(id);
+        }
+      }
+    } else {
+      for (IngredientId id : s.flat) {
+        if (seen.MarkSeen(id)) s.unique_flat.push_back(id);
+      }
+    }
+    std::sort(s.unique_flat.begin() + static_cast<long>(begin),
+              s.unique_flat.end());
+    s.unique_offsets.push_back(static_cast<uint32_t>(s.unique_flat.size()));
+  }
+
+  corpus.RebindViews();
   return corpus;
+}
+
+void RecipeCorpus::RebindViews() {
+  const Storage& s = storage_;
+  flat_ = s.flat;
+  offsets_ = s.offsets;
+  cuisines_ = s.cuisines;
+  for (int c = 0; c < kNumCuisines; ++c) {
+    if (s.shard_offsets.size() == kNumCuisines + 1) {
+      shards_[static_cast<size_t>(c)] = std::span<const uint32_t>(
+          s.shard_index.data() + s.shard_offsets[static_cast<size_t>(c)],
+          s.shard_offsets[static_cast<size_t>(c) + 1] -
+              s.shard_offsets[static_cast<size_t>(c)]);
+    } else {
+      shards_[static_cast<size_t>(c)] = {};
+    }
+  }
+  for (int c = 0; c <= kNumCuisines; ++c) {
+    if (s.unique_offsets.size() == kNumCuisines + 2) {
+      unique_[static_cast<size_t>(c)] = std::span<const IngredientId>(
+          s.unique_flat.data() + s.unique_offsets[static_cast<size_t>(c)],
+          s.unique_offsets[static_cast<size_t>(c) + 1] -
+              s.unique_offsets[static_cast<size_t>(c)]);
+    } else {
+      unique_[static_cast<size_t>(c)] = {};
+    }
+  }
+}
+
+RecipeCorpus::RecipeCorpus(const RecipeCorpus& other)
+    : storage_(other.storage_), backing_(other.backing_) {
+  // Owned mode is detected structurally (views aliasing other.storage_)
+  // rather than by backing_: FromColumns with a null backing still hands
+  // out external views, and rebinding those onto the empty storage_ would
+  // silently produce an empty copy.
+  const bool other_owned =
+      other.cuisines_.data() == other.storage_.cuisines.data() &&
+      other.flat_.data() == other.storage_.flat.data();
+  if (other_owned) {
+    RebindViews();
+  } else {
+    // Borrowed mode: views point into external memory (kept alive by the
+    // copied backing_ when there is one) — they stay valid as-is.
+    flat_ = other.flat_;
+    offsets_ = other.offsets_;
+    cuisines_ = other.cuisines_;
+    shards_ = other.shards_;
+    unique_ = other.unique_;
+  }
+}
+
+RecipeCorpus& RecipeCorpus::operator=(const RecipeCorpus& other) {
+  if (this == &other) return *this;
+  RecipeCorpus copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+RecipeCorpus::RecipeCorpus(RecipeCorpus&& other) noexcept
+    : storage_(std::move(other.storage_)),
+      backing_(std::move(other.backing_)),
+      flat_(other.flat_),
+      offsets_(other.offsets_),
+      cuisines_(other.cuisines_),
+      shards_(other.shards_),
+      unique_(other.unique_) {
+  // Moving the vectors transfers their heap buffers, so the copied views
+  // still point at live memory owned by *this (or by backing_).
+  other.storage_ = Storage{};
+  other.backing_.reset();
+  other.RebindViews();
+}
+
+RecipeCorpus& RecipeCorpus::operator=(RecipeCorpus&& other) noexcept {
+  if (this == &other) return *this;
+  storage_ = std::move(other.storage_);
+  backing_ = std::move(other.backing_);
+  flat_ = other.flat_;
+  offsets_ = other.offsets_;
+  cuisines_ = other.cuisines_;
+  shards_ = other.shards_;
+  unique_ = other.unique_;
+  other.storage_ = Storage{};
+  other.backing_.reset();
+  other.RebindViews();
+  return *this;
 }
 
 RecipeView RecipeCorpus::recipe(uint32_t index) const {
@@ -48,52 +232,145 @@ std::span<const IngredientId> RecipeCorpus::ingredients_of(
   CULEVO_DCHECK(index < num_recipes());
   const uint32_t begin = offsets_[index];
   const uint32_t end = offsets_[index + 1];
-  return std::span<const IngredientId>(flat_.data() + begin, end - begin);
+  return flat_.subspan(begin, end - begin);
 }
 
-const std::vector<uint32_t>& RecipeCorpus::recipes_of(
+std::span<const uint32_t> RecipeCorpus::recipes_of(CuisineId cuisine) const {
+  CULEVO_CHECK(cuisine < kNumCuisines);
+  return shards_[cuisine];
+}
+
+std::span<const IngredientId> RecipeCorpus::UniqueIngredients(
     CuisineId cuisine) const {
   CULEVO_CHECK(cuisine < kNumCuisines);
-  return by_cuisine_[cuisine];
+  return unique_[cuisine];
 }
 
-namespace {
-
-std::vector<IngredientId> UniqueOf(const RecipeCorpus& corpus,
-                                   const std::vector<uint32_t>& indices) {
-  std::vector<bool> seen(kInvalidIngredient, false);
-  std::vector<IngredientId> out;
-  for (uint32_t index : indices) {
-    for (IngredientId id : corpus.ingredients_of(index)) {
-      if (!seen[id]) {
-        seen[id] = true;
-        out.push_back(id);
-      }
-    }
-  }
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-}  // namespace
-
-std::vector<IngredientId> RecipeCorpus::UniqueIngredients(
-    CuisineId cuisine) const {
-  return UniqueOf(*this, recipes_of(cuisine));
-}
-
-std::vector<IngredientId> RecipeCorpus::UniqueIngredients() const {
-  std::vector<uint32_t> all(num_recipes());
-  for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
-  return UniqueOf(*this, all);
+std::span<const IngredientId> RecipeCorpus::UniqueIngredients() const {
+  return unique_[kNumCuisines];
 }
 
 double RecipeCorpus::MeanRecipeSize(CuisineId cuisine) const {
-  const std::vector<uint32_t>& indices = recipes_of(cuisine);
+  const std::span<const uint32_t> indices = recipes_of(cuisine);
   if (indices.empty()) return 0.0;
   size_t total = 0;
   for (uint32_t index : indices) total += ingredients_of(index).size();
   return static_cast<double>(total) / static_cast<double>(indices.size());
+}
+
+Result<RecipeCorpus> RecipeCorpus::FromColumns(
+    ColumnViews views, std::shared_ptr<const void> backing) {
+  const auto invalid = [](const char* what) {
+    return Status::InvalidArgument(
+        StrFormat("corpus columns: %s", what));
+  };
+
+  const size_t n = views.cuisines.size();
+  if (views.offsets.size() != n + 1) {
+    return invalid("offsets column must have num_recipes + 1 entries");
+  }
+  if (n > 0 && views.offsets[0] != 0) {
+    return invalid("offsets must start at 0");
+  }
+  if (views.offsets.empty() || views.offsets.front() != 0) {
+    return invalid("offsets must start at 0");
+  }
+  if (views.offsets.back() != views.flat.size()) {
+    return invalid("offsets must end at the flat column size");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (views.offsets[i + 1] <= views.offsets[i]) {
+      return invalid("offsets must be strictly increasing (empty recipe?)");
+    }
+    if (views.cuisines[i] >= kNumCuisines) {
+      return invalid("cuisine id out of range");
+    }
+    for (size_t m = views.offsets[i] + 1; m < views.offsets[i + 1]; ++m) {
+      if (views.flat[m - 1] >= views.flat[m]) {
+        return invalid("recipe ingredients must be sorted and unique");
+      }
+    }
+  }
+
+  // Shards: ascending recipe indices, each in its own cuisine, jointly
+  // covering every recipe exactly once.
+  size_t shard_total = 0;
+  for (int c = 0; c < kNumCuisines; ++c) {
+    const std::span<const uint32_t> shard =
+        views.shards[static_cast<size_t>(c)];
+    shard_total += shard.size();
+    for (size_t k = 0; k < shard.size(); ++k) {
+      if (shard[k] >= n) return invalid("shard entry out of range");
+      if (views.cuisines[shard[k]] != static_cast<CuisineId>(c)) {
+        return invalid("shard entry assigned to the wrong cuisine");
+      }
+      if (k > 0 && shard[k - 1] >= shard[k]) {
+        return invalid("shard entries must be ascending");
+      }
+    }
+  }
+  if (shard_total != n) {
+    return invalid("shards must cover every recipe exactly once");
+  }
+
+  // Unique lists: sorted, and exactly the distinct ids of their scope.
+  // The epoch trick keeps this one O(mentions) pass per scope instead of a
+  // sort; memory safety downstream (ContextFromCorpus indexes by
+  // lower_bound position) depends on completeness, so this is not
+  // optional even though the checksums already caught random corruption.
+  const size_t universe =
+      views.flat.empty() ? 1 : UniverseOf(views.flat);
+  SeenScratch seen(universe);
+  for (int c = 0; c <= kNumCuisines; ++c) {
+    const std::span<const IngredientId> unique =
+        views.unique[static_cast<size_t>(c)];
+    seen.NextPass();
+    for (size_t k = 0; k < unique.size(); ++k) {
+      if (k > 0 && unique[k - 1] >= unique[k]) {
+        return invalid("unique-ingredient lists must be sorted and unique");
+      }
+      if (static_cast<size_t>(unique[k]) >= universe) {
+        return invalid("unique-ingredient entry out of range");
+      }
+      seen.MarkSeen(unique[k]);
+    }
+    size_t covered = 0;
+    const auto consume = [&](IngredientId id) {
+      if (seen.epoch_of[id] < seen.epoch) return false;  // not listed
+      if (seen.epoch_of[id] == seen.epoch) {
+        seen.epoch_of[id] = seen.epoch + 1;  // listed, first sighting
+        ++covered;
+      }
+      return true;
+    };
+    bool complete = true;
+    if (c < kNumCuisines) {
+      for (uint32_t index : views.shards[static_cast<size_t>(c)]) {
+        for (size_t m = views.offsets[index]; m < views.offsets[index + 1];
+             ++m) {
+          complete = complete && consume(views.flat[m]);
+        }
+      }
+    } else {
+      for (IngredientId id : views.flat) complete = complete && consume(id);
+    }
+    if (!complete) {
+      return invalid("unique-ingredient list is missing a used id");
+    }
+    if (covered != unique.size()) {
+      return invalid("unique-ingredient list contains unused ids");
+    }
+    seen.NextPass();  // burn the +1 epoch consume() used as a marker
+  }
+
+  RecipeCorpus corpus;
+  corpus.backing_ = std::move(backing);
+  corpus.flat_ = views.flat;
+  corpus.offsets_ = views.offsets;
+  corpus.cuisines_ = views.cuisines;
+  corpus.shards_ = views.shards;
+  corpus.unique_ = views.unique;
+  return corpus;
 }
 
 }  // namespace culevo

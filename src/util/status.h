@@ -22,6 +22,7 @@ enum class StatusCode {
   kUnimplemented,
   kCancelled,
   kDeadlineExceeded,
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -70,6 +71,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

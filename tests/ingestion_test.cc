@@ -2,7 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/transactions.h"
+#include "corpus/corpus_stats.h"
 #include "lexicon/world_lexicon.h"
+#include "util/csv.h"
+#include "util/rng.h"
 
 namespace culevo {
 namespace {
@@ -115,6 +125,201 @@ TEST(IngestTest, CompoundIngredientsSurviveParsing) {
             names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "Garam Masala"),
             names.end());
+}
+
+// --- IncrementalCorpus: appends must keep every derived structure exactly
+// in sync with what a full rebuild would produce.
+
+bool SameStats(const std::vector<CuisineStats>& a,
+               const std::vector<CuisineStats>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].cuisine != b[i].cuisine ||
+        a[i].num_recipes != b[i].num_recipes ||
+        a[i].num_unique_ingredients != b[i].num_unique_ingredients ||
+        a[i].mean_recipe_size != b[i].mean_recipe_size ||
+        a[i].min_recipe_size != b[i].min_recipe_size ||
+        a[i].max_recipe_size != b[i].max_recipe_size ||
+        a[i].size_histogram != b[i].size_histogram) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(IncrementalCorpusTest, MatchesFullRebuild) {
+  Rng rng(3);
+  IncrementalCorpus incremental;
+  RecipeCorpus::Builder reference;
+  for (int i = 0; i < 400; ++i) {
+    const CuisineId cuisine = static_cast<CuisineId>(rng.NextBounded(5));
+    std::vector<IngredientId> ids;
+    const size_t size = 1 + rng.NextBounded(8);
+    for (size_t k = 0; k < size; ++k) {
+      ids.push_back(static_cast<IngredientId>(rng.NextBounded(120)));
+    }
+    ASSERT_TRUE(incremental
+                    .Add(cuisine, std::span<const IngredientId>(ids))
+                    .ok());
+    ASSERT_TRUE(reference.Add(cuisine, std::move(ids)).ok());
+  }
+  const RecipeCorpus rebuilt = reference.Build();
+
+  EXPECT_EQ(incremental.num_recipes(), rebuilt.num_recipes());
+  EXPECT_EQ(incremental.num_mentions(), rebuilt.total_mentions());
+  EXPECT_TRUE(SameStats(incremental.stats(), ComputeCuisineStats(rebuilt)));
+  for (int c = 0; c < kNumCuisines; ++c) {
+    const CuisineId cuisine = static_cast<CuisineId>(c);
+    const auto shard = incremental.recipes_of(cuisine);
+    const auto expected_shard = rebuilt.recipes_of(cuisine);
+    EXPECT_TRUE(std::equal(shard.begin(), shard.end(),
+                           expected_shard.begin(), expected_shard.end()));
+    const auto unique = incremental.UniqueIngredients(cuisine);
+    const auto expected_unique = rebuilt.UniqueIngredients(cuisine);
+    EXPECT_TRUE(std::equal(unique.begin(), unique.end(),
+                           expected_unique.begin(), expected_unique.end()));
+  }
+  const auto global = incremental.UniqueIngredients();
+  const auto expected_global = rebuilt.UniqueIngredients();
+  EXPECT_TRUE(std::equal(global.begin(), global.end(),
+                         expected_global.begin(), expected_global.end()));
+
+  Result<RecipeCorpus> materialized = incremental.Materialize();
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_TRUE(std::equal(materialized->flat().begin(),
+                         materialized->flat().end(),
+                         rebuilt.flat().begin(), rebuilt.flat().end()));
+}
+
+TEST(IncrementalCorpusTest, RejectsBadInput) {
+  IncrementalCorpus incremental;
+  EXPECT_FALSE(incremental.Add(kNumCuisines, std::vector<IngredientId>{1})
+                   .ok());
+  EXPECT_FALSE(incremental.Add(0, std::vector<IngredientId>{}).ok());
+  EXPECT_EQ(incremental.num_recipes(), 0u);
+}
+
+TEST(IncrementalCorpusTest, SeedsFromCorpusAndExtends) {
+  RecipeCorpus::Builder builder;
+  ASSERT_TRUE(builder.Add(0, {1, 2, 3}).ok());
+  ASSERT_TRUE(builder.Add(1, {2, 4}).ok());
+  const RecipeCorpus base = builder.Build();
+
+  IncrementalCorpus incremental = IncrementalCorpus::FromCorpus(base);
+  EXPECT_EQ(incremental.num_recipes(), 2u);
+  EXPECT_TRUE(SameStats(incremental.stats(), ComputeCuisineStats(base)));
+
+  ASSERT_TRUE(incremental.Add(0, std::vector<IngredientId>{5, 3}).ok());
+  EXPECT_EQ(incremental.num_recipes(), 3u);
+  EXPECT_EQ(incremental.stats_of(0).num_recipes, 2u);
+  EXPECT_EQ(incremental.stats_of(0).num_unique_ingredients, 4u);
+
+  // The derived structures must equal a from-scratch build of the same
+  // recipe sequence.
+  RecipeCorpus::Builder all;
+  ASSERT_TRUE(all.Add(0, {1, 2, 3}).ok());
+  ASSERT_TRUE(all.Add(1, {2, 4}).ok());
+  ASSERT_TRUE(all.Add(0, {5, 3}).ok());
+  const RecipeCorpus rebuilt = all.Build();
+  EXPECT_TRUE(SameStats(incremental.stats(), ComputeCuisineStats(rebuilt)));
+  const auto unique = incremental.UniqueIngredients();
+  const auto expected = rebuilt.UniqueIngredients();
+  EXPECT_TRUE(
+      std::equal(unique.begin(), unique.end(), expected.begin(),
+                 expected.end()));
+}
+
+TEST(IncrementalCorpusTest, TransactionDeltasDrainOnce) {
+  IncrementalCorpus incremental;
+  ASSERT_TRUE(incremental.Add(2, std::vector<IngredientId>{9, 4}).ok());
+  ASSERT_TRUE(incremental.Add(2, std::vector<IngredientId>{7}).ok());
+  ASSERT_TRUE(incremental.Add(3, std::vector<IngredientId>{1}).ok());
+
+  TransactionSet standing;
+  EXPECT_EQ(AppendNewTransactions(incremental, 2, &standing), 2u);
+  ASSERT_EQ(standing.size(), 2u);
+  EXPECT_EQ(standing.transaction(0), (std::vector<Item>{4, 9}));
+  EXPECT_EQ(standing.transaction(1), (std::vector<Item>{7}));
+
+  // Drained: a second drain is empty until new recipes arrive.
+  EXPECT_EQ(AppendNewTransactions(incremental, 2, &standing), 0u);
+  ASSERT_TRUE(incremental.Add(2, std::vector<IngredientId>{5}).ok());
+  EXPECT_EQ(AppendNewTransactions(incremental, 2, &standing), 1u);
+  EXPECT_EQ(standing.size(), 3u);
+}
+
+TEST(IncrementalCorpusTest, SnapshotRoundTripsAfterAppends) {
+  const std::string path =
+      testing::TempDir() + "culevo_incremental_snapshot.bin";
+  SnapshotWriteOptions write;
+  write.sync = false;
+
+  IncrementalCorpus incremental;
+  Rng rng(13);
+  const auto add_batch = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      std::vector<IngredientId> ids;
+      const size_t size = 1 + rng.NextBounded(6);
+      for (size_t k = 0; k < size; ++k) {
+        ids.push_back(static_cast<IngredientId>(rng.NextBounded(80)));
+      }
+      ASSERT_TRUE(
+          incremental
+              .Add(static_cast<CuisineId>(rng.NextBounded(4)),
+                   std::span<const IngredientId>(ids))
+              .ok());
+    }
+  };
+
+  add_batch(100);
+  ASSERT_TRUE(incremental.WriteSnapshot(path, write).ok());
+  // Second write with appended batches exercises the dirty-section path:
+  // the columns extend, only touched cuisines re-serialize.
+  add_batch(40);
+  ASSERT_TRUE(incremental.WriteSnapshot(path, write).ok());
+
+  Result<LoadedCorpusSnapshot> loaded = LoadCorpusSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  Result<RecipeCorpus> materialized = incremental.Materialize();
+  ASSERT_TRUE(materialized.ok());
+  EXPECT_EQ(loaded->corpus.num_recipes(), materialized->num_recipes());
+  EXPECT_TRUE(SameStats(loaded->stats,
+                        ComputeCuisineStats(materialized.value())));
+  EXPECT_TRUE(std::equal(
+      loaded->corpus.flat().begin(), loaded->corpus.flat().end(),
+      materialized->flat().begin(), materialized->flat().end()));
+  EXPECT_TRUE(SameStats(loaded->stats, incremental.stats()));
+  std::remove(path.c_str());
+}
+
+TEST(IncrementalCorpusTest, DeltaSnapshotIdenticalToFreshSnapshot) {
+  const std::string incremental_path =
+      testing::TempDir() + "culevo_delta_snapshot.bin";
+  const std::string fresh_path =
+      testing::TempDir() + "culevo_fresh_snapshot.bin";
+  SnapshotWriteOptions write;
+  write.sync = false;
+
+  IncrementalCorpus incremental;
+  ASSERT_TRUE(incremental.Add(0, std::vector<IngredientId>{3, 1}).ok());
+  ASSERT_TRUE(incremental.Add(4, std::vector<IngredientId>{2}).ok());
+  ASSERT_TRUE(incremental.WriteSnapshot(incremental_path, write).ok());
+  ASSERT_TRUE(incremental.Add(0, std::vector<IngredientId>{8}).ok());
+  ASSERT_TRUE(incremental.WriteSnapshot(incremental_path, write).ok());
+
+  // A from-scratch snapshot of the same corpus must be byte-identical —
+  // cached-section reuse is not allowed to change the serialization.
+  Result<RecipeCorpus> materialized = incremental.Materialize();
+  ASSERT_TRUE(materialized.ok());
+  ASSERT_TRUE(
+      WriteCorpusSnapshot(fresh_path, materialized.value(), write).ok());
+  Result<std::string> delta_bytes = ReadFileToString(incremental_path);
+  Result<std::string> fresh_bytes = ReadFileToString(fresh_path);
+  ASSERT_TRUE(delta_bytes.ok());
+  ASSERT_TRUE(fresh_bytes.ok());
+  EXPECT_EQ(delta_bytes.value(), fresh_bytes.value());
+  std::remove(incremental_path.c_str());
+  std::remove(fresh_path.c_str());
 }
 
 }  // namespace

@@ -2,8 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 namespace culevo {
 namespace {
+
+template <typename T>
+std::vector<T> ToVec(std::span<const T> view) {
+  return std::vector<T>(view.begin(), view.end());
+}
 
 RecipeCorpus SmallCorpus() {
   RecipeCorpus::Builder builder;
@@ -16,18 +23,32 @@ RecipeCorpus SmallCorpus() {
 TEST(RecipeCorpusTest, BuilderSortsAndDeduplicates) {
   const RecipeCorpus corpus = SmallCorpus();
   ASSERT_EQ(corpus.num_recipes(), 3u);
-  EXPECT_EQ(std::vector<IngredientId>(corpus.ingredients_of(0).begin(),
-                                      corpus.ingredients_of(0).end()),
+  EXPECT_EQ(ToVec(corpus.ingredients_of(0)),
             (std::vector<IngredientId>{1, 2, 3}));
-  EXPECT_EQ(std::vector<IngredientId>(corpus.ingredients_of(1).begin(),
-                                      corpus.ingredients_of(1).end()),
+  EXPECT_EQ(ToVec(corpus.ingredients_of(1)),
             (std::vector<IngredientId>{2, 5}));
+}
+
+TEST(RecipeCorpusTest, SpanAddMatchesVectorAdd) {
+  const std::vector<IngredientId> ingredients = {9, 4, 4, 6};
+  RecipeCorpus::Builder builder;
+  builder.Reserve(2, 8);
+  ASSERT_TRUE(
+      builder.Add(3, std::span<const IngredientId>(ingredients)).ok());
+  ASSERT_TRUE(builder.Add(3, std::vector<IngredientId>{9, 4, 4, 6}).ok());
+  const RecipeCorpus corpus = builder.Build();
+  ASSERT_EQ(corpus.num_recipes(), 2u);
+  EXPECT_EQ(ToVec(corpus.ingredients_of(0)), ToVec(corpus.ingredients_of(1)));
+  EXPECT_EQ(ToVec(corpus.ingredients_of(0)),
+            (std::vector<IngredientId>{4, 6, 9}));
 }
 
 TEST(RecipeCorpusTest, RejectsEmptyAndBadCuisine) {
   RecipeCorpus::Builder builder;
-  EXPECT_FALSE(builder.Add(0, {}).ok());
+  EXPECT_FALSE(builder.Add(0, std::vector<IngredientId>{}).ok());
   EXPECT_FALSE(builder.Add(kNumCuisines, {1}).ok());
+  EXPECT_FALSE(
+      builder.Add(0, std::span<const IngredientId>()).ok());
   EXPECT_EQ(builder.size(), 0u);
 }
 
@@ -42,17 +63,17 @@ TEST(RecipeCorpusTest, RecipeViewFields) {
 
 TEST(RecipeCorpusTest, RecipesOfGroupsByCuisine) {
   const RecipeCorpus corpus = SmallCorpus();
-  EXPECT_EQ(corpus.recipes_of(0), (std::vector<uint32_t>{0, 1}));
-  EXPECT_EQ(corpus.recipes_of(1), (std::vector<uint32_t>{2}));
+  EXPECT_EQ(ToVec(corpus.recipes_of(0)), (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(ToVec(corpus.recipes_of(1)), (std::vector<uint32_t>{2}));
   EXPECT_TRUE(corpus.recipes_of(2).empty());
   EXPECT_EQ(corpus.num_recipes_in(0), 2u);
 }
 
 TEST(RecipeCorpusTest, UniqueIngredients) {
   const RecipeCorpus corpus = SmallCorpus();
-  EXPECT_EQ(corpus.UniqueIngredients(0),
+  EXPECT_EQ(ToVec(corpus.UniqueIngredients(0)),
             (std::vector<IngredientId>{1, 2, 3, 5}));
-  EXPECT_EQ(corpus.UniqueIngredients(),
+  EXPECT_EQ(ToVec(corpus.UniqueIngredients()),
             (std::vector<IngredientId>{1, 2, 3, 5, 7}));
   EXPECT_TRUE(corpus.UniqueIngredients(2).empty());
 }
@@ -72,6 +93,7 @@ TEST(RecipeCorpusTest, EmptyCorpus) {
   RecipeCorpus corpus;
   EXPECT_EQ(corpus.num_recipes(), 0u);
   EXPECT_TRUE(corpus.UniqueIngredients().empty());
+  EXPECT_FALSE(corpus.borrowed());
 }
 
 TEST(RecipeCorpusTest, BuilderIsReusableAfterBuild) {
@@ -83,6 +105,112 @@ TEST(RecipeCorpusTest, BuilderIsReusableAfterBuild) {
   const RecipeCorpus second = builder.Build();
   EXPECT_EQ(second.num_recipes(), 1u);
   EXPECT_EQ(second.cuisine_of(0), 1);
+}
+
+// The span accessors must survive copies and moves: the views have to be
+// re-pointed at the destination's own storage, never at the source's.
+TEST(RecipeCorpusTest, CopyRebindsViews) {
+  RecipeCorpus original = SmallCorpus();
+  RecipeCorpus copy = original;
+  original = RecipeCorpus();  // Destroy the source's storage.
+  EXPECT_EQ(ToVec(copy.ingredients_of(0)),
+            (std::vector<IngredientId>{1, 2, 3}));
+  EXPECT_EQ(ToVec(copy.recipes_of(0)), (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(ToVec(copy.UniqueIngredients()),
+            (std::vector<IngredientId>{1, 2, 3, 5, 7}));
+}
+
+TEST(RecipeCorpusTest, MoveRebindsViews) {
+  RecipeCorpus original = SmallCorpus();
+  const RecipeCorpus moved = std::move(original);
+  EXPECT_EQ(moved.num_recipes(), 3u);
+  EXPECT_EQ(ToVec(moved.ingredients_of(1)), (std::vector<IngredientId>{2, 5}));
+  EXPECT_EQ(ToVec(moved.UniqueIngredients(0)),
+            (std::vector<IngredientId>{1, 2, 3, 5}));
+}
+
+// --- FromColumns: the borrowed-storage entry point must reject columns
+// that are not a well-formed corpus (the loader relies on this as its last
+// line of defense against crafted snapshots).
+
+struct OwnedColumns {
+  std::vector<IngredientId> flat;
+  std::vector<uint32_t> offsets;
+  std::vector<CuisineId> cuisines;
+  std::array<std::vector<uint32_t>, kNumCuisines> shards;
+  std::array<std::vector<IngredientId>, kNumCuisines + 1> unique;
+
+  RecipeCorpus::ColumnViews Views() const {
+    RecipeCorpus::ColumnViews views;
+    views.flat = flat;
+    views.offsets = offsets;
+    views.cuisines = cuisines;
+    for (int c = 0; c < kNumCuisines; ++c) {
+      views.shards[static_cast<size_t>(c)] = shards[static_cast<size_t>(c)];
+      views.unique[static_cast<size_t>(c)] = unique[static_cast<size_t>(c)];
+    }
+    views.unique[kNumCuisines] = unique[kNumCuisines];
+    return views;
+  }
+};
+
+OwnedColumns SmallColumns() {
+  OwnedColumns columns;
+  columns.flat = {1, 2, 3, 2, 5, 7};
+  columns.offsets = {0, 3, 5, 6};
+  columns.cuisines = {0, 0, 1};
+  columns.shards[0] = {0, 1};
+  columns.shards[1] = {2};
+  columns.unique[0] = {1, 2, 3, 5};
+  columns.unique[1] = {7};
+  columns.unique[kNumCuisines] = {1, 2, 3, 5, 7};
+  return columns;
+}
+
+TEST(RecipeCorpusFromColumnsTest, AcceptsWellFormedColumns) {
+  const OwnedColumns columns = SmallColumns();
+  Result<RecipeCorpus> corpus =
+      RecipeCorpus::FromColumns(columns.Views(), nullptr);
+  ASSERT_TRUE(corpus.ok()) << corpus.status();
+  EXPECT_TRUE(corpus->borrowed() == false);  // Null backing: views only.
+  EXPECT_EQ(corpus->num_recipes(), 3u);
+  EXPECT_EQ(ToVec(corpus->ingredients_of(0)),
+            (std::vector<IngredientId>{1, 2, 3}));
+  EXPECT_EQ(ToVec(corpus->recipes_of(0)), (std::vector<uint32_t>{0, 1}));
+  EXPECT_EQ(ToVec(corpus->UniqueIngredients()),
+            (std::vector<IngredientId>{1, 2, 3, 5, 7}));
+}
+
+TEST(RecipeCorpusFromColumnsTest, RejectsNonMonotonicOffsets) {
+  OwnedColumns columns = SmallColumns();
+  columns.offsets = {0, 5, 3, 6};
+  EXPECT_FALSE(RecipeCorpus::FromColumns(columns.Views(), nullptr).ok());
+}
+
+TEST(RecipeCorpusFromColumnsTest, RejectsUnsortedRecipe) {
+  OwnedColumns columns = SmallColumns();
+  columns.flat = {3, 2, 1, 2, 5, 7};  // Recipe 0 descending.
+  EXPECT_FALSE(RecipeCorpus::FromColumns(columns.Views(), nullptr).ok());
+}
+
+TEST(RecipeCorpusFromColumnsTest, RejectsWrongShard) {
+  OwnedColumns columns = SmallColumns();
+  columns.shards[0] = {0};  // Recipe 1 missing from its shard.
+  columns.shards[2] = {1};  // ...and filed under the wrong cuisine.
+  EXPECT_FALSE(RecipeCorpus::FromColumns(columns.Views(), nullptr).ok());
+}
+
+TEST(RecipeCorpusFromColumnsTest, RejectsIncompleteUniqueList) {
+  OwnedColumns columns = SmallColumns();
+  columns.unique[0] = {1, 2, 3};  // 5 missing: downstream code would index
+                                  // out of bounds off this list.
+  EXPECT_FALSE(RecipeCorpus::FromColumns(columns.Views(), nullptr).ok());
+}
+
+TEST(RecipeCorpusFromColumnsTest, RejectsOversizedUniqueList) {
+  OwnedColumns columns = SmallColumns();
+  columns.unique[kNumCuisines] = {1, 2, 3, 5, 7, 9};  // 9 never used.
+  EXPECT_FALSE(RecipeCorpus::FromColumns(columns.Views(), nullptr).ok());
 }
 
 }  // namespace
