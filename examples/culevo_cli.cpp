@@ -26,7 +26,6 @@
 // only the remainder — bit-identical results to an uninterrupted run. See
 // DESIGN.md §10 and EXPERIMENTS.md for the workflow.
 
-#include <csignal>
 #include <iostream>
 
 #include "obs/metrics.h"
@@ -46,6 +45,7 @@
 #include "synth/generator.h"
 #include "util/cancel.h"
 #include "util/csv.h"
+#include "util/signal.h"
 #include "util/flags.h"
 #include "util/strings.h"
 #include "util/table_printer.h"
@@ -54,17 +54,13 @@ namespace {
 
 using namespace culevo;
 
-// Process-wide cancellation token. SIGINT and SIGTERM trip it
-// (CancelToken::Cancel is a relaxed atomic store, so it is
-// async-signal-safe) and --timeout-ms arms its deadline; the long-running
-// subcommands poll it at replica / root-class granularity.
+// Process-wide cancellation token. SIGINT and SIGTERM trip it through
+// util/signal's shared async-signal-safe handler, and --timeout-ms arms
+// its deadline; the long-running subcommands poll it at replica /
+// root-class granularity.
 CancelToken& GlobalCancel() {
   static CancelToken token;
   return token;
-}
-
-extern "C" void HandleCancelSignal(int /*signum*/) {
-  GlobalCancel().Cancel();
 }
 
 int Usage() {
@@ -331,11 +327,10 @@ int main(int argc, char** argv) {
     std::cerr << s << "\n";
     return 2;
   }
-  std::signal(SIGINT, HandleCancelSignal);
-  // Orchestrators (docker stop, Kubernetes, CI runners) send SIGTERM on
-  // shutdown: treat it as a cancel request so checkpointed runs flush a
-  // resumable journal instead of dying mid-write.
-  std::signal(SIGTERM, HandleCancelSignal);
+  // SIGINT and SIGTERM (what docker stop / Kubernetes / CI runners send
+  // on shutdown) request a cooperative cancel, so checkpointed runs flush
+  // a resumable journal instead of dying mid-write.
+  InstallCancelHandlers(&GlobalCancel());
   const long long timeout_ms = flags.GetInt("timeout-ms", 0);
   if (timeout_ms > 0) {
     GlobalCancel().set_deadline(Deadline::AfterMillis(timeout_ms));

@@ -3,8 +3,20 @@
 #include <algorithm>
 
 namespace culevo {
+namespace {
 
-std::vector<OverrepresentationScore> ComputeOverrepresentation(
+/// Strict weak (in fact total) order: descending score, ascending
+/// ingredient id on ties. Shared by the full sort and the top-k
+/// partial_sort so both produce the same deterministic ranking.
+bool ScoreBefore(const OverrepresentationScore& a,
+                 const OverrepresentationScore& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.ingredient < b.ingredient;  // Deterministic ties.
+}
+
+/// Eq. 1 for every ingredient occurring in `cuisine`, unsorted (ascending
+/// ingredient id, the accumulation order).
+std::vector<OverrepresentationScore> ScoreIngredients(
     const RecipeCorpus& corpus, CuisineId cuisine) {
   const std::span<const uint32_t> indices = corpus.recipes_of(cuisine);
   if (indices.empty() || corpus.num_recipes() == 0) return {};
@@ -23,6 +35,7 @@ std::vector<OverrepresentationScore> ComputeOverrepresentation(
   const double n_cuisine = static_cast<double>(indices.size());
   const double n_world = static_cast<double>(corpus.num_recipes());
   std::vector<OverrepresentationScore> out;
+  out.reserve(corpus.UniqueIngredients(cuisine).size());
   for (size_t id = 0; id < cuisine_count.size(); ++id) {
     if (cuisine_count[id] == 0) continue;
     OverrepresentationScore s;
@@ -32,20 +45,32 @@ std::vector<OverrepresentationScore> ComputeOverrepresentation(
     s.score = s.cuisine_fraction - s.world_fraction;
     out.push_back(s);
   }
-  std::sort(out.begin(), out.end(),
-            [](const OverrepresentationScore& a,
-               const OverrepresentationScore& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.ingredient < b.ingredient;  // Deterministic ties.
-            });
+  return out;
+}
+
+}  // namespace
+
+std::vector<OverrepresentationScore> ComputeOverrepresentation(
+    const RecipeCorpus& corpus, CuisineId cuisine) {
+  std::vector<OverrepresentationScore> out =
+      ScoreIngredients(corpus, cuisine);
+  std::sort(out.begin(), out.end(), ScoreBefore);
   return out;
 }
 
 std::vector<OverrepresentationScore> TopOverrepresented(
     const RecipeCorpus& corpus, CuisineId cuisine, size_t k) {
   std::vector<OverrepresentationScore> all =
-      ComputeOverrepresentation(corpus, cuisine);
-  if (all.size() > k) all.resize(k);
+      ScoreIngredients(corpus, cuisine);
+  if (all.size() <= k) {
+    std::sort(all.begin(), all.end(), ScoreBefore);
+    return all;
+  }
+  // Top-k without ranking the tail: ScoreBefore is a total order, so the
+  // partial_sort prefix is exactly the full sort's prefix — ties included.
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(k),
+                    all.end(), ScoreBefore);
+  all.resize(k);
   return all;
 }
 

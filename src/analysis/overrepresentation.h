@@ -27,7 +27,9 @@ std::vector<OverrepresentationScore> ComputeOverrepresentation(
     const RecipeCorpus& corpus, CuisineId cuisine);
 
 /// Convenience: the `k` most overrepresented ingredients of a cuisine
-/// (Table I's rightmost column).
+/// (Table I's rightmost column). Ranks only the top k (partial_sort with
+/// the same deterministic tie-break), so it is equivalent to truncating
+/// ComputeOverrepresentation without paying the full sort.
 std::vector<OverrepresentationScore> TopOverrepresented(
     const RecipeCorpus& corpus, CuisineId cuisine, size_t k);
 

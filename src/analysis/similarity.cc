@@ -6,58 +6,91 @@
 #include "util/check.h"
 
 namespace culevo {
-namespace {
 
-/// Presence-fraction vector over the full ingredient id space.
-std::vector<double> UsageVector(const RecipeCorpus& corpus,
-                                CuisineId cuisine) {
+CuisineUsageProfile BuildUsageProfile(const RecipeCorpus& corpus,
+                                      CuisineId cuisine) {
+  CuisineUsageProfile profile;
   const std::span<const uint32_t> indices = corpus.recipes_of(cuisine);
-  std::vector<double> usage(kInvalidIngredient, 0.0);
-  if (indices.empty()) return usage;
+  if (indices.empty()) return profile;
+
+  // The cached sorted unique-ingredient list is the profile's key column;
+  // counts are accumulated per unique index (binary search per mention).
+  const std::span<const IngredientId> unique =
+      corpus.UniqueIngredients(cuisine);
+  std::vector<uint32_t> counts(unique.size(), 0);
   for (uint32_t index : indices) {
-    for (IngredientId id : corpus.ingredients_of(index)) usage[id] += 1.0;
+    for (IngredientId id : corpus.ingredients_of(index)) {
+      const size_t slot = static_cast<size_t>(
+          std::lower_bound(unique.begin(), unique.end(), id) -
+          unique.begin());
+      ++counts[slot];
+    }
   }
-  for (double& v : usage) v /= static_cast<double>(indices.size());
-  return usage;
+
+  profile.ingredients.assign(unique.begin(), unique.end());
+  profile.fractions.resize(unique.size());
+  const double n = static_cast<double>(indices.size());
+  double norm_sq = 0.0;
+  for (size_t i = 0; i < unique.size(); ++i) {
+    const double fraction = static_cast<double>(counts[i]) / n;
+    profile.fractions[i] = fraction;
+    norm_sq += fraction * fraction;
+  }
+  profile.norm = std::sqrt(norm_sq);
+  return profile;
 }
 
-double CosineDistance(const std::vector<double>& a,
-                      const std::vector<double>& b) {
+double UsageProfileDistance(const CuisineUsageProfile& a,
+                            const CuisineUsageProfile& b) {
+  if (a.norm <= 0.0 || b.norm <= 0.0) {
+    return (a.norm <= 0.0 && b.norm <= 0.0) ? 0.0 : 1.0;
+  }
+  // Merge the two sorted id columns; only common ingredients contribute
+  // to the dot product, accumulated in ascending id order (the same order
+  // the dense vector loop used, so the sum is bit-identical).
   double dot = 0.0;
-  double norm_a = 0.0;
-  double norm_b = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    dot += a[i] * b[i];
-    norm_a += a[i] * a[i];
-    norm_b += b[i] * b[i];
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.ingredients.size() && j < b.ingredients.size()) {
+    const IngredientId ia = a.ingredients[i];
+    const IngredientId ib = b.ingredients[j];
+    if (ia < ib) {
+      ++i;
+    } else if (ib < ia) {
+      ++j;
+    } else {
+      dot += a.fractions[i] * b.fractions[j];
+      ++i;
+      ++j;
+    }
   }
-  if (norm_a <= 0.0 || norm_b <= 0.0) {
-    return (norm_a <= 0.0 && norm_b <= 0.0) ? 0.0 : 1.0;
-  }
-  const double cosine = dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+  const double cosine = dot / (a.norm * b.norm);
   return std::clamp(1.0 - cosine, 0.0, 1.0);
 }
 
-}  // namespace
+UsageProfileCache::UsageProfileCache(const RecipeCorpus& corpus) {
+  profiles_.reserve(kNumCuisines);
+  for (int c = 0; c < kNumCuisines; ++c) {
+    profiles_.push_back(
+        BuildUsageProfile(corpus, static_cast<CuisineId>(c)));
+  }
+}
 
 double IngredientUsageDistance(const RecipeCorpus& corpus, CuisineId a,
                                CuisineId b) {
-  return CosineDistance(UsageVector(corpus, a), UsageVector(corpus, b));
+  return UsageProfileDistance(BuildUsageProfile(corpus, a),
+                              BuildUsageProfile(corpus, b));
 }
 
 std::vector<std::vector<double>> IngredientUsageDistanceMatrix(
     const RecipeCorpus& corpus) {
-  std::vector<std::vector<double>> usage_vectors;
-  usage_vectors.reserve(kNumCuisines);
-  for (int c = 0; c < kNumCuisines; ++c) {
-    usage_vectors.push_back(UsageVector(corpus, static_cast<CuisineId>(c)));
-  }
+  const UsageProfileCache cache(corpus);
   std::vector<std::vector<double>> matrix(
       kNumCuisines, std::vector<double>(kNumCuisines, 0.0));
   for (int i = 0; i < kNumCuisines; ++i) {
     for (int j = i + 1; j < kNumCuisines; ++j) {
-      const double d = CosineDistance(usage_vectors[static_cast<size_t>(i)],
-                                      usage_vectors[static_cast<size_t>(j)]);
+      const double d = cache.Distance(static_cast<CuisineId>(i),
+                                      static_cast<CuisineId>(j));
       matrix[static_cast<size_t>(i)][static_cast<size_t>(j)] = d;
       matrix[static_cast<size_t>(j)][static_cast<size_t>(i)] = d;
     }
@@ -65,16 +98,14 @@ std::vector<std::vector<double>> IngredientUsageDistanceMatrix(
   return matrix;
 }
 
-std::vector<CuisineNeighbor> NearestCuisines(const RecipeCorpus& corpus,
+std::vector<CuisineNeighbor> NearestCuisines(const UsageProfileCache& cache,
                                              CuisineId cuisine, size_t k) {
-  const std::vector<double> self = UsageVector(corpus, cuisine);
   std::vector<CuisineNeighbor> neighbors;
   for (int c = 0; c < kNumCuisines; ++c) {
     const CuisineId other = static_cast<CuisineId>(c);
-    if (other == cuisine || corpus.num_recipes_in(other) == 0) continue;
-    neighbors.push_back(
-        CuisineNeighbor{other, CosineDistance(self, UsageVector(corpus,
-                                                                other))});
+    if (other == cuisine || cache.profile(other).empty()) continue;
+    neighbors.push_back(CuisineNeighbor{other, cache.Distance(cuisine,
+                                                              other)});
   }
   std::sort(neighbors.begin(), neighbors.end(),
             [](const CuisineNeighbor& a, const CuisineNeighbor& b) {
@@ -83,6 +114,11 @@ std::vector<CuisineNeighbor> NearestCuisines(const RecipeCorpus& corpus,
             });
   if (neighbors.size() > k) neighbors.resize(k);
   return neighbors;
+}
+
+std::vector<CuisineNeighbor> NearestCuisines(const RecipeCorpus& corpus,
+                                             CuisineId cuisine, size_t k) {
+  return NearestCuisines(UsageProfileCache(corpus), cuisine, k);
 }
 
 std::vector<ClusterMerge> AgglomerativeCluster(

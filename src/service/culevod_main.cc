@@ -1,0 +1,222 @@
+// culevod: the long-running culevo query server.
+//
+// Serves concurrent point queries — overrepresentation top-k, recipe
+// search, nearest cuisines, usage frequency, bounded on-demand model
+// simulation — over a length-prefixed protocol on a local Unix socket
+// (service/protocol.h; grammar in service/service_core.h). The corpus is
+// an immutable CULEVO-CORPUS snapshot mmap-loaded at startup with all
+// query indexes precomputed; SIGHUP re-reads the snapshot path and swaps
+// the new generation in RCU-style while in-flight requests finish on the
+// old one. SIGINT/SIGTERM drain cleanly: the listener stops accepting,
+// workers finish their current request, then the process exits 0.
+//
+//   culevod --socket /tmp/culevod.sock --load-snapshot corpus.snap
+//   culevod --socket /tmp/culevod.sock --scale 0.25 --seed 42   (synth)
+//   culevod --once < requests.txt                 (stdin/stdout, no socket)
+//   culevod --client /tmp/culevod.sock < requests.txt
+//   culevod --client /tmp/culevod.sock "overrep ITA 5"
+//
+// Flags: --threads <n> worker threads; --deadline-ms <n> default request
+// deadline; --max-inflight <n> admission-control cap; --metrics dumps the
+// metrics registry as JSON on exit (serve.* counters and latency
+// histograms).
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "corpus/corpus_snapshot.h"
+#include "lexicon/world_lexicon.h"
+#include "obs/metrics.h"
+#include "obs/metrics_json.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/service_core.h"
+#include "synth/generator.h"
+#include "util/flags.h"
+#include "util/signal.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace culevo;
+
+CancelToken& GlobalCancel() {
+  static CancelToken token;
+  return token;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: culevod --socket <path> [--load-snapshot <file>]\n"
+         "       culevod --once [--load-snapshot <file>]\n"
+         "       culevod --client <socket-path> [request...]\n"
+         "flags: --scale <0..1> --seed <n> (synthesize when no snapshot) "
+         "--threads <n> --deadline-ms <n> --max-inflight <n> --metrics\n";
+  return 2;
+}
+
+/// Builds the core's first snapshot: the --load-snapshot file when given,
+/// a synthesized world corpus otherwise.
+Status InstallInitial(ServiceCore& core, const FlagParser& flags) {
+  const std::string path = flags.GetString("load-snapshot", "");
+  if (!path.empty()) return core.LoadFromFile(path);
+  SynthConfig config;
+  config.scale = flags.GetDouble("scale", 0.25);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  Result<RecipeCorpus> corpus = SynthesizeWorldCorpus(WorldLexicon(), config);
+  if (!corpus.ok()) return corpus.status();
+  return core.InstallCorpus(std::move(*corpus), "<synthetic>");
+}
+
+/// `--once`: requests on stdin, responses on stdout, no socket. Exists so
+/// tests and scripts can exercise the full request path hermetically.
+int RunOnce(ServiceCore& core) {
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (Trim(line).empty()) continue;
+    std::cout << core.Handle(line);
+  }
+  return 0;
+}
+
+/// `--client <socket>`: ships each request as one frame and prints the
+/// response payloads. Requests come from trailing positional arguments
+/// when given, each stdin line otherwise. The reference client for the
+/// protocol.
+int RunClient(const std::string& socket_path,
+              const std::vector<std::string>& requests) {
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "bad socket path\n";
+    return 2;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 || ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                          sizeof(addr)) != 0) {
+    std::cerr << "connect(" << socket_path
+              << ") failed: " << std::strerror(errno) << "\n";
+    if (fd >= 0) ::close(fd);
+    return 1;
+  }
+  int rc = 0;
+  std::string response;
+  const auto send_one = [&](const std::string& request) {
+    if (Status s = WriteFrame(fd, request); !s.ok()) {
+      std::cerr << s << "\n";
+      return false;
+    }
+    if (Status s = ReadFrame(fd, &response); !s.ok()) {
+      std::cerr << s << "\n";
+      return false;
+    }
+    std::cout << response;
+    return true;
+  };
+  if (!requests.empty()) {
+    for (const std::string& request : requests) {
+      if (Trim(request).empty()) continue;
+      if (!send_one(request)) {
+        rc = 1;
+        break;
+      }
+    }
+  } else {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (Trim(line).empty()) continue;
+      if (!send_one(line)) {
+        rc = 1;
+        break;
+      }
+    }
+  }
+  ::close(fd);
+  return rc;
+}
+
+/// Server mode: accept loop until SIGINT/SIGTERM, SIGHUP reloads the
+/// snapshot file in place.
+int RunServer(ServiceCore& core, const FlagParser& flags) {
+  const std::string snapshot_path = flags.GetString("load-snapshot", "");
+  ServerOptions server_options;
+  server_options.socket_path = flags.GetString("socket", "");
+  server_options.threads = static_cast<int>(flags.GetInt("threads", 4));
+  if (server_options.socket_path.empty()) return Usage();
+
+  SocketServer server(&core, server_options);
+  if (Status s = server.Start(); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::cerr << "culevod serving on " << server_options.socket_path << " ("
+            << server_options.threads << " threads)\n";
+
+  InstallReloadHandler();
+  while (!GlobalCancel().ShouldStop()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (!ConsumeReloadRequest()) continue;
+    if (snapshot_path.empty()) {
+      std::cerr << "SIGHUP ignored: no --load-snapshot path to reload\n";
+      continue;
+    }
+    // A failed reload keeps the previous generation serving; the error
+    // only lands in the log and serve.reload_failures.
+    if (Status s = core.LoadFromFile(snapshot_path); !s.ok()) {
+      std::cerr << "reload failed: " << s << "\n";
+    } else {
+      std::cerr << "reloaded " << snapshot_path << " (epoch "
+                << core.Acquire()->epoch << ")\n";
+    }
+  }
+  server.Stop();
+  std::cerr << "culevod drained\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags;
+  if (Status s = flags.Parse(argc, argv); !s.ok()) {
+    std::cerr << s << "\n";
+    return 2;
+  }
+
+  if (flags.Has("client")) {
+    return RunClient(flags.GetString("client", ""), flags.positional());
+  }
+
+  InstallCancelHandlers(&GlobalCancel());
+
+  ServiceOptions options;
+  options.default_deadline_ms = flags.GetInt("deadline-ms", 250);
+  options.max_inflight =
+      static_cast<int>(flags.GetInt("max-inflight", 256));
+  ServiceCore core(&WorldLexicon(), options);
+  if (Status s = InstallInitial(core, flags); !s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  const auto snapshot = core.Acquire();
+  std::cerr << "corpus ready: " << snapshot->corpus.num_recipes()
+            << " recipes from " << snapshot->source << "\n";
+
+  const int rc = flags.GetBool("once", false) ? RunOnce(core)
+                                              : RunServer(core, flags);
+  if (flags.GetBool("metrics", false)) {
+    std::cout << obs::MetricsSnapshotToJson(
+                     obs::MetricsRegistry::Get().Snapshot())
+              << "\n";
+  }
+  return rc;
+}

@@ -1,0 +1,86 @@
+#include "service/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "util/strings.h"
+
+namespace culevo {
+namespace {
+
+/// Writes exactly `len` bytes, looping over partial writes and EINTR.
+Status WriteAll(int fd, const char* data, size_t len) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(
+          StrFormat("frame write failed: %s", std::strerror(errno)));
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// Reads exactly `len` bytes. `*got_any` reports whether at least one
+/// byte arrived (distinguishes clean EOF from a torn frame).
+Status ReadAll(int fd, char* data, size_t len, bool* got_any) {
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::read(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(
+          StrFormat("frame read failed: %s", std::strerror(errno)));
+    }
+    if (n == 0) {
+      return done == 0 && !*got_any
+                 ? Status::NotFound("connection closed")
+                 : Status::DataLoss("connection closed mid-frame");
+    }
+    done += static_cast<size_t>(n);
+    *got_any = true;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        StrFormat("frame of %zu bytes exceeds the %u-byte limit",
+                  payload.size(), kMaxFrameBytes));
+  }
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  char prefix[4] = {static_cast<char>(len & 0xFF),
+                    static_cast<char>((len >> 8) & 0xFF),
+                    static_cast<char>((len >> 16) & 0xFF),
+                    static_cast<char>((len >> 24) & 0xFF)};
+  CULEVO_RETURN_IF_ERROR(WriteAll(fd, prefix, sizeof(prefix)));
+  return WriteAll(fd, payload.data(), payload.size());
+}
+
+Status ReadFrame(int fd, std::string* payload) {
+  bool got_any = false;
+  char prefix[4];
+  CULEVO_RETURN_IF_ERROR(ReadAll(fd, prefix, sizeof(prefix), &got_any));
+  const uint32_t len = static_cast<uint32_t>(
+      static_cast<unsigned char>(prefix[0]) |
+      (static_cast<unsigned char>(prefix[1]) << 8) |
+      (static_cast<unsigned char>(prefix[2]) << 16) |
+      (static_cast<unsigned char>(prefix[3]) << 24));
+  if (len > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        StrFormat("frame length %u exceeds the %u-byte limit", len,
+                  kMaxFrameBytes));
+  }
+  payload->resize(len);
+  if (len == 0) return Status::Ok();
+  return ReadAll(fd, payload->data(), len, &got_any);
+}
+
+}  // namespace culevo

@@ -1,0 +1,42 @@
+#ifndef CULEVO_SERVICE_PROTOCOL_H_
+#define CULEVO_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace culevo {
+
+/// `culevod` wire protocol: length-prefixed frames over a local stream
+/// socket.
+///
+/// One frame = a 4-byte little-endian unsigned payload length followed by
+/// that many payload bytes. Requests are single-line UTF-8 text commands
+/// (see service_core.h for the grammar); responses are multi-line text
+/// whose first line is `ok ...` or `error <Status>`. One request frame
+/// always produces exactly one response frame, in order, so a client may
+/// pipeline.
+///
+/// Frames above kMaxFrameBytes are refused (InvalidArgument) before any
+/// allocation — a garbage length prefix must not look like an allocation
+/// request.
+
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Writes one frame, retrying short writes and EINTR. IOError on any
+/// unrecoverable write failure.
+Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one frame into `*payload` (replacing its contents), retrying
+/// short reads and EINTR.
+///   - clean EOF before any byte     -> NotFound ("connection closed")
+///   - EOF mid-frame                 -> DataLoss
+///   - length prefix > kMaxFrameBytes-> InvalidArgument
+///   - read error                    -> IOError
+Status ReadFrame(int fd, std::string* payload);
+
+}  // namespace culevo
+
+#endif  // CULEVO_SERVICE_PROTOCOL_H_

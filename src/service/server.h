@@ -1,0 +1,71 @@
+#ifndef CULEVO_SERVICE_SERVER_H_
+#define CULEVO_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service_core.h"
+#include "util/status.h"
+
+namespace culevo {
+
+/// Socket-layer tuning of `culevod`.
+struct ServerOptions {
+  /// Filesystem path of the Unix stream socket. Any stale file at the
+  /// path is unlinked on Start (a crashed previous instance must not
+  /// brick restarts) and the live one on Stop.
+  std::string socket_path;
+  /// Worker threads; each handles one connection at a time, so this is
+  /// also the connection-concurrency limit.
+  int threads = 4;
+};
+
+/// Blocking Unix-socket front end of a ServiceCore.
+///
+/// Start() binds and listens, then spawns `threads` workers that all
+/// accept on the shared non-blocking listen socket. A worker owns each
+/// accepted connection for its lifetime, looping read-frame → Handle →
+/// write-frame (see service/protocol.h). All blocking waits are 200 ms
+/// poll() ticks, so Stop() converges within one tick plus the in-flight
+/// request: it never aborts a request that already reached Handle, which
+/// is what makes SIGTERM drains clean.
+///
+/// ServiceCore::Handle is fully thread-safe, so the workers share the
+/// core with no extra locking at this layer.
+class SocketServer {
+ public:
+  /// `core` must outlive the server.
+  SocketServer(ServiceCore* core, ServerOptions options);
+
+  /// Stops and joins if still running.
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds, listens, spawns the workers. InvalidArgument for an unusable
+  /// path, IOError for socket failures.
+  Status Start();
+
+  /// Signals the workers, joins them, closes the listen socket, unlinks
+  /// the socket path. Idempotent.
+  void Stop();
+
+  bool running() const { return !workers_.empty(); }
+
+ private:
+  void WorkerLoop();
+  void ServeConnection(int fd);
+
+  ServiceCore* core_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace culevo
+
+#endif  // CULEVO_SERVICE_SERVER_H_

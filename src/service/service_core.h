@@ -1,0 +1,114 @@
+#ifndef CULEVO_SERVICE_SERVICE_CORE_H_
+#define CULEVO_SERVICE_SERVICE_CORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/corpus_stats.h"
+#include "corpus/recipe_corpus.h"
+#include "lexicon/lexicon.h"
+#include "service/query_index.h"
+#include "util/status.h"
+
+namespace culevo {
+
+/// Tuning knobs of the query service.
+struct ServiceOptions {
+  /// Per-request deadline; requests may lower (never raise) it with a
+  /// `deadline_ms=` option. <= 0 disables the default deadline.
+  int64_t default_deadline_ms = 250;
+  /// Admission control: requests beyond this many concurrently executing
+  /// ones are rejected with Unavailable instead of queuing without bound.
+  int max_inflight = 256;
+  /// Result-row cap for list-shaped queries (top-k, search, curves).
+  size_t max_results = 100;
+  /// Upper bound on `simulate` replicas (each replica is a full
+  /// generate+mine cycle — the one expensive query).
+  int max_simulate_replicas = 8;
+};
+
+/// One immutable generation of the service's data: the corpus, its
+/// precomputed stats, and the derived query indexes. Swapped wholesale on
+/// reload; readers that still hold the previous generation keep using it
+/// until they finish (shared_ptr refcount is the grace period).
+struct ServiceSnapshot {
+  RecipeCorpus corpus;
+  std::vector<CuisineStats> stats;  ///< One entry per cuisine id.
+  QueryIndex index;
+  uint64_t epoch = 0;      ///< Monotonic install counter.
+  std::string source;      ///< Snapshot path or "<synthetic>".
+};
+
+/// The transport-independent query engine behind `culevod`.
+///
+/// Request grammar (one line; `key=value` tokens are options, everything
+/// else positional; ingredients are names, or `#<id>` for raw ids;
+/// comma-separated lists):
+///
+///   ping
+///   info
+///   stats   <CUISINE>
+///   overrep <CUISINE> [k]
+///   nearest <CUISINE> [k]
+///   freq    <CUISINE> <ingredient>
+///   recipe  <index>
+///   search  <ingredient>[,<ingredient>...] [cuisine=CODE] [limit=N]
+///   simulate <CUISINE> <CM-R|CM-C|CM-M|NM> [replicas=N] [seed=N]
+///
+/// Any request accepts `deadline_ms=N` to tighten its deadline below the
+/// service default. Responses: first line `ok [rows]` or
+/// `error <Status>`, then one row per line, tab-separated; doubles are
+/// rendered with %.17g so round-tripping them is lossless (the values are
+/// bit-identical to the batch analysis entry points on the same corpus).
+///
+/// Concurrency: Handle() is safe from any number of threads. Each request
+/// acquires the current snapshot once (RCU-style: one mutex-guarded
+/// shared_ptr copy) and runs entirely against that generation, so a
+/// concurrent Reload never fails or torn-reads an in-flight request.
+///
+/// Metrics: serve.requests, serve.rejects, serve.errors,
+/// serve.latency_ms, serve.inflight, serve.reloads,
+/// serve.reload_failures, serve.index.build_ms.
+/// Failpoint: serve.reload (fires before a reload touches the file).
+class ServiceCore {
+ public:
+  ServiceCore(const Lexicon* lexicon, ServiceOptions options);
+
+  /// Loads a CULEVO-CORPUS snapshot file, builds the query indexes, and
+  /// installs the new generation. On any failure the previous generation
+  /// stays installed and keeps serving (serve.reload_failures counts it).
+  Status LoadFromFile(const std::string& path);
+
+  /// Installs an in-memory corpus (tests, benches, --synth mode).
+  Status InstallCorpus(RecipeCorpus corpus, std::string source);
+
+  /// Current generation; null until the first successful install.
+  std::shared_ptr<const ServiceSnapshot> Acquire() const;
+
+  /// Executes one request line and renders the response payload.
+  /// Never throws; every failure renders as an `error <Status>` line.
+  std::string Handle(std::string_view request);
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  Status Install(std::shared_ptr<const ServiceSnapshot> next);
+
+  const Lexicon* lexicon_;
+  ServiceOptions options_;
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const ServiceSnapshot> snapshot_;
+  uint64_t next_epoch_ = 1;
+
+  std::atomic<int> inflight_{0};
+};
+
+}  // namespace culevo
+
+#endif  // CULEVO_SERVICE_SERVICE_CORE_H_

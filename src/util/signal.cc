@@ -1,0 +1,49 @@
+#include "util/signal.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace culevo {
+namespace {
+
+// Handler state is a pair of lock-free atomics: the token pointer the
+// cancel handler dereferences and the SIGHUP flag. Relaxed ordering is
+// enough — consumers only need to eventually observe the store, and both
+// sides are single flags with no dependent data.
+std::atomic<CancelToken*> g_cancel_token{nullptr};
+std::atomic<bool> g_reload_requested{false};
+
+extern "C" void HandleCancelSignal(int /*signum*/) {
+  // CancelToken::Cancel is one relaxed atomic store: async-signal-safe.
+  CancelToken* token = g_cancel_token.load(std::memory_order_relaxed);
+  if (token != nullptr) token->Cancel();
+}
+
+extern "C" void HandleReloadSignal(int /*signum*/) {
+  g_reload_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void InstallCancelHandlers(CancelToken* token) {
+  g_cancel_token.store(token, std::memory_order_relaxed);
+  if (token == nullptr) {
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    return;
+  }
+  std::signal(SIGINT, HandleCancelSignal);
+  std::signal(SIGTERM, HandleCancelSignal);
+}
+
+void InstallReloadHandler() { std::signal(SIGHUP, HandleReloadSignal); }
+
+bool ConsumeReloadRequest() {
+  return g_reload_requested.exchange(false, std::memory_order_relaxed);
+}
+
+void RequestReloadForTest() {
+  g_reload_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace culevo

@@ -1,0 +1,45 @@
+#ifndef CULEVO_UTIL_SIGNAL_H_
+#define CULEVO_UTIL_SIGNAL_H_
+
+#include "util/cancel.h"
+
+namespace culevo {
+
+/// Shared async-signal-safe process signal wiring.
+///
+/// Every long-running culevo binary wants the same protocol: SIGINT
+/// (Ctrl-C) and SIGTERM (what container orchestrators send on shutdown)
+/// request a *cooperative* cancel via CancelToken, so runs exit through
+/// the normal error path — checkpoints flushed, sockets drained — instead
+/// of dying mid-write. `culevod` additionally maps SIGHUP to a
+/// reload-requested flag (the conventional "re-read your config/data"
+/// signal) that its serve loop polls between accepts.
+///
+/// The handlers do nothing but relaxed atomic stores
+/// (CancelToken::Cancel, an atomic flag), which is the entire
+/// async-signal-safe surface this module is allowed to touch — keep it
+/// that way; this is the one audited handler the whole repo shares.
+///
+/// Install* functions are not thread-safe against each other; call them
+/// once during startup, before spawning threads.
+
+/// Wires SIGINT and SIGTERM to `token->Cancel()`. The token must outlive
+/// all signal delivery (in practice: main()-scoped or static). Passing a
+/// different token re-points the handler; passing nullptr restores the
+/// default disposition.
+void InstallCancelHandlers(CancelToken* token);
+
+/// Wires SIGHUP to an internal reload-requested flag (and ignores the
+/// default terminate-on-SIGHUP disposition).
+void InstallReloadHandler();
+
+/// True once per SIGHUP received since the last call (consume semantics).
+/// Safe to poll from any thread.
+bool ConsumeReloadRequest();
+
+/// Testing hook: raises the flag exactly as the SIGHUP handler does.
+void RequestReloadForTest();
+
+}  // namespace culevo
+
+#endif  // CULEVO_UTIL_SIGNAL_H_

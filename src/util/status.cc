@@ -28,6 +28,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DeadlineExceeded";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "UnknownCode";
 }

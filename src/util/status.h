@@ -23,6 +23,7 @@ enum class StatusCode {
   kCancelled,
   kDeadlineExceeded,
   kDataLoss,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -74,6 +75,11 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  /// Transient refusal — the caller may retry later (admission-control
+  /// rejects, an overloaded server shedding load).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

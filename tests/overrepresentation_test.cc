@@ -1,5 +1,7 @@
 #include "analysis/overrepresentation.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 namespace culevo {
@@ -58,6 +60,34 @@ TEST(OverrepresentationTest, TopKTruncates) {
   const RecipeCorpus corpus = builder.Build();
   EXPECT_EQ(TopOverrepresented(corpus, 0, 3).size(), 3u);
   EXPECT_EQ(TopOverrepresented(corpus, 0, 100).size(), 7u);
+}
+
+// Pins the partial_sort fast path of TopOverrepresented to the full-sort
+// ranking under heavy ties: top-k must be exactly the k-prefix of
+// ComputeOverrepresentation for every k, including ks that land inside a
+// run of tied scores (where an unstable tie-break would diverge).
+TEST(OverrepresentationTest, TopKIsPrefixOfFullSortOnHeavyTies) {
+  RecipeCorpus::Builder builder;
+  // Ten ingredients used exactly once each in cuisine 0: all ten tie on
+  // score, so ordering is decided purely by the ingredient-id tie-break.
+  ASSERT_TRUE(builder.Add(0, {3, 7, 11, 15, 19}).ok());
+  ASSERT_TRUE(builder.Add(0, {1, 5, 9, 13, 17}).ok());
+  ASSERT_TRUE(builder.Add(1, {2}).ok());
+  const RecipeCorpus corpus = builder.Build();
+
+  const auto full = ComputeOverrepresentation(corpus, 0);
+  ASSERT_EQ(full.size(), 10u);
+  for (size_t k = 1; k <= full.size() + 2; ++k) {
+    const auto top = TopOverrepresented(corpus, 0, k);
+    ASSERT_EQ(top.size(), std::min(k, full.size())) << "k=" << k;
+    for (size_t i = 0; i < top.size(); ++i) {
+      EXPECT_EQ(top[i].ingredient, full[i].ingredient)
+          << "k=" << k << " i=" << i;
+      EXPECT_DOUBLE_EQ(top[i].score, full[i].score);
+      EXPECT_DOUBLE_EQ(top[i].cuisine_fraction, full[i].cuisine_fraction);
+      EXPECT_DOUBLE_EQ(top[i].world_fraction, full[i].world_fraction);
+    }
+  }
 }
 
 TEST(OverrepresentationTest, DeterministicTieBreakById) {

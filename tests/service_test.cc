@@ -1,0 +1,297 @@
+#include "service/service_core.h"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/overrepresentation.h"
+#include "analysis/similarity.h"
+#include "core/null_model.h"
+#include "core/simulation.h"
+#include "corpus/corpus_snapshot.h"
+#include "lexicon/world_lexicon.h"
+#include "util/failpoint.h"
+#include "util/strings.h"
+
+namespace culevo {
+namespace {
+
+// Cuisine ids used throughout; codes resolved from the static table so
+// the tests do not hard-code the cuisine order.
+constexpr CuisineId kA = 0;
+constexpr CuisineId kB = 1;
+
+std::string Code(CuisineId c) { return std::string(CuisineAt(c).code); }
+
+/// Two populated cuisines with overlap, ties, and a conjunction target.
+RecipeCorpus SmallCorpus() {
+  RecipeCorpus::Builder builder;
+  EXPECT_TRUE(builder.Add(kA, {1, 2, 3}).ok());
+  EXPECT_TRUE(builder.Add(kA, {1, 2, 4}).ok());
+  EXPECT_TRUE(builder.Add(kA, {2, 5}).ok());
+  EXPECT_TRUE(builder.Add(kB, {2, 3, 6}).ok());
+  EXPECT_TRUE(builder.Add(kB, {6, 7}).ok());
+  return builder.Build();
+}
+
+/// A second, distinguishable corpus for swap tests.
+RecipeCorpus OtherCorpus() {
+  RecipeCorpus::Builder builder;
+  EXPECT_TRUE(builder.Add(kA, {10, 11}).ok());
+  EXPECT_TRUE(builder.Add(kB, {11, 12}).ok());
+  EXPECT_TRUE(builder.Add(kB, {12, 13}).ok());
+  return builder.Build();
+}
+
+ServiceCore MakeCore(ServiceOptions options = {}) {
+  return ServiceCore(&WorldLexicon(), options);
+}
+
+std::vector<std::string> Rows(const std::string& response) {
+  std::vector<std::string> lines = Split(response, '\n');
+  // Trailing '\n' produces one empty tail field; drop it plus the header.
+  EXPECT_FALSE(lines.empty());
+  lines.pop_back();
+  EXPECT_FALSE(lines.empty());
+  lines.erase(lines.begin());
+  return lines;
+}
+
+TEST(ServiceCoreTest, PingAndErrors) {
+  ServiceCore core = MakeCore();
+  ASSERT_TRUE(core.InstallCorpus(SmallCorpus(), "<test>").ok());
+  EXPECT_EQ(core.Handle("ping"), "ok 1\npong\n");
+  EXPECT_TRUE(StartsWith(core.Handle("bogus"), "error InvalidArgument"));
+  EXPECT_TRUE(StartsWith(core.Handle(""), "error InvalidArgument"));
+  EXPECT_TRUE(
+      StartsWith(core.Handle("ping frobnicate=1"), "error InvalidArgument"));
+  EXPECT_TRUE(StartsWith(core.Handle("overrep NOPE"), "error NotFound"));
+  EXPECT_TRUE(StartsWith(core.Handle("recipe 999"), "error NotFound"));
+}
+
+TEST(ServiceCoreTest, NoSnapshotIsFailedPrecondition) {
+  ServiceCore core = MakeCore();
+  EXPECT_TRUE(StartsWith(core.Handle("ping"), "error FailedPrecondition"));
+}
+
+// The served answer must be bit-identical to the batch entry point: the
+// rows are rendered with %.17g, so string equality is double equality.
+TEST(ServiceCoreTest, OverrepMatchesBatchBitExactly) {
+  const RecipeCorpus corpus = SmallCorpus();
+  ServiceCore core = MakeCore();
+  ASSERT_TRUE(core.InstallCorpus(corpus, "<test>").ok());
+
+  const auto batch = TopOverrepresented(corpus, kA, 3);
+  const std::vector<std::string> rows =
+      Rows(core.Handle("overrep " + Code(kA) + " 3"));
+  ASSERT_EQ(rows.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(rows[i],
+              StrFormat("%s\t%.17g\t%.17g\t%.17g",
+                        WorldLexicon().name(batch[i].ingredient).c_str(),
+                        batch[i].score, batch[i].cuisine_fraction,
+                        batch[i].world_fraction));
+  }
+}
+
+TEST(ServiceCoreTest, NearestMatchesBatchBitExactly) {
+  const RecipeCorpus corpus = SmallCorpus();
+  ServiceCore core = MakeCore();
+  ASSERT_TRUE(core.InstallCorpus(corpus, "<test>").ok());
+
+  const std::vector<CuisineNeighbor> batch = NearestCuisines(corpus, kA, 5);
+  const std::vector<std::string> rows =
+      Rows(core.Handle("nearest " + Code(kA) + " 5"));
+  ASSERT_EQ(rows.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(rows[i], StrFormat("%s\t%.17g", Code(batch[i].cuisine).c_str(),
+                                 batch[i].distance));
+  }
+}
+
+TEST(ServiceCoreTest, FreqReportsCountFractionRank) {
+  ServiceCore core = MakeCore();
+  ASSERT_TRUE(core.InstallCorpus(SmallCorpus(), "<test>").ok());
+  // Ingredient 2 is in all 3 recipes of cuisine A: count 3, fraction 1,
+  // rank 1 (highest usage).
+  EXPECT_EQ(core.Handle("freq " + Code(kA) + " #2"), "ok 1\n3\t1\t1\n");
+  EXPECT_TRUE(StartsWith(core.Handle("freq " + Code(kA) + " #13"),
+                         "error NotFound"));
+}
+
+TEST(ServiceCoreTest, SearchIntersectsAndFilters) {
+  ServiceCore core = MakeCore();
+  ASSERT_TRUE(core.InstallCorpus(SmallCorpus(), "<test>").ok());
+  // Recipes containing both #2 and #3: recipe 0 (cuisine A) and 3 (B).
+  std::vector<std::string> rows = Rows(core.Handle("search #2,#3"));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(StartsWith(rows[0], "0\t" + Code(kA)));
+  EXPECT_TRUE(StartsWith(rows[1], "3\t" + Code(kB)));
+
+  rows = Rows(core.Handle("search #2,#3 cuisine=" + Code(kB)));
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(StartsWith(rows[0], "3\t"));
+
+  rows = Rows(core.Handle("search #2,#3 limit=1"));
+  EXPECT_EQ(rows.size(), 1u);
+}
+
+TEST(ServiceCoreTest, SimulateMatchesDirectRunBitExactly) {
+  const RecipeCorpus corpus = SmallCorpus();
+  ServiceCore core = MakeCore();
+  ASSERT_TRUE(core.InstallCorpus(corpus, "<test>").ok());
+
+  Result<CuisineContext> context = ContextFromCorpus(corpus, kA);
+  ASSERT_TRUE(context.ok()) << context.status();
+  const NullModel nm;
+  SimulationConfig config;
+  config.replicas = 1;
+  config.seed = 7;
+  Result<SimulationResult> direct =
+      RunSimulation(nm, *context, WorldLexicon(), config);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+
+  const std::vector<std::string> rows = Rows(core.Handle(
+      "simulate " + Code(kA) + " NM replicas=1 seed=7 deadline_ms=60000"));
+  ASSERT_EQ(rows.size(), 1 + std::min<size_t>(
+                                 direct->ingredient_curve.values().size(),
+                                 core.options().max_results));
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i],
+              StrFormat("%zu\t%.17g", i,
+                        direct->ingredient_curve.values()[i - 1]));
+  }
+}
+
+TEST(ServiceCoreTest, SimulateClampsReplicas) {
+  ServiceOptions options;
+  options.max_simulate_replicas = 2;
+  ServiceCore core = MakeCore(options);
+  ASSERT_TRUE(core.InstallCorpus(SmallCorpus(), "<test>").ok());
+  EXPECT_TRUE(StartsWith(core.Handle("simulate " + Code(kA) + " NM "
+                                     "replicas=3"),
+                         "error InvalidArgument"));
+}
+
+TEST(ServiceCoreTest, DeadlineRejection) {
+  ServiceCore core = MakeCore();
+  ASSERT_TRUE(core.InstallCorpus(SmallCorpus(), "<test>").ok());
+  // An explicitly non-positive deadline is already expired: the request
+  // must be rejected at admission, before any query work runs.
+  EXPECT_TRUE(
+      StartsWith(core.Handle("ping deadline_ms=0"), "error DeadlineExceeded"));
+  EXPECT_TRUE(StartsWith(core.Handle("overrep " + Code(kA) + " deadline_ms=-5"),
+                         "error DeadlineExceeded"));
+  // A generous deadline passes.
+  EXPECT_EQ(core.Handle("ping deadline_ms=60000"), "ok 1\npong\n");
+}
+
+TEST(ServiceCoreTest, AdmissionControlRejectsOverCapacity) {
+  ServiceOptions options;
+  options.max_inflight = 0;  // Every request is over capacity.
+  ServiceCore core = MakeCore(options);
+  ASSERT_TRUE(core.InstallCorpus(SmallCorpus(), "<test>").ok());
+  EXPECT_TRUE(StartsWith(core.Handle("ping"), "error Unavailable"));
+}
+
+TEST(ServiceCoreTest, EpochAdvancesPerInstall) {
+  ServiceCore core = MakeCore();
+  ASSERT_TRUE(core.InstallCorpus(SmallCorpus(), "a").ok());
+  EXPECT_EQ(core.Acquire()->epoch, 1u);
+  ASSERT_TRUE(core.InstallCorpus(OtherCorpus(), "b").ok());
+  EXPECT_EQ(core.Acquire()->epoch, 2u);
+  EXPECT_EQ(core.Acquire()->source, "b");
+}
+
+TEST(ServiceCoreTest, SnapshotFileAnswersMatchInMemory) {
+  const std::string path =
+      testing::TempDir() + "culevo_service_snapshot.bin";
+  const RecipeCorpus corpus = SmallCorpus();
+  ASSERT_TRUE(WriteCorpusSnapshot(path, corpus, {.sync = false}).ok());
+
+  ServiceCore from_memory = MakeCore();
+  ASSERT_TRUE(from_memory.InstallCorpus(corpus, "<test>").ok());
+  ServiceCore from_file = MakeCore();
+  ASSERT_TRUE(from_file.LoadFromFile(path).ok());
+
+  const std::vector<std::string> requests = {
+      "overrep " + Code(kA) + " 5", "nearest " + Code(kB),
+      "stats " + Code(kA), "freq " + Code(kA) + " #1",
+      std::string("search #2,#3")};
+  for (const std::string& request : requests) {
+    EXPECT_EQ(from_file.Handle(request), from_memory.Handle(request))
+        << request;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServiceCoreTest, FailedReloadKeepsPreviousGenerationServing) {
+  const std::string path =
+      testing::TempDir() + "culevo_service_reload.bin";
+  ASSERT_TRUE(
+      WriteCorpusSnapshot(path, SmallCorpus(), {.sync = false}).ok());
+
+  ServiceCore core = MakeCore();
+  ASSERT_TRUE(core.LoadFromFile(path).ok());
+  const std::string before = core.Handle("overrep " + Code(kA) + " 3");
+  const uint64_t epoch = core.Acquire()->epoch;
+
+  Failpoints::Get().Arm("serve.reload",
+                        {.status = Status::IOError("injected reload fault")});
+  const Status reload = core.LoadFromFile(path);
+  Failpoints::Get().DisarmAll();
+  EXPECT_EQ(reload.code(), StatusCode::kIOError);
+
+  // The failed reload must leave the previous generation installed and
+  // still answering identically.
+  EXPECT_EQ(core.Acquire()->epoch, epoch);
+  EXPECT_EQ(core.Handle("overrep " + Code(kA) + " 3"), before);
+  std::remove(path.c_str());
+}
+
+// RCU swap under concurrency: readers hammer point queries while a writer
+// repeatedly installs new generations. Every response must succeed — an
+// in-flight request keeps its acquired generation alive, so a swap can
+// never fail or tear it. Run under TSan via the tsan preset.
+TEST(ServiceCoreTest, ConcurrentReadersAcrossSnapshotSwaps) {
+  ServiceCore core = MakeCore();
+  ASSERT_TRUE(core.InstallCorpus(SmallCorpus(), "gen0").ok());
+
+  constexpr int kReaders = 4;
+  constexpr int kSwaps = 25;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&core, &done, &failures, t] {
+      const std::string request = (t % 2 == 0)
+                                      ? "overrep " + Code(kA) + " 3"
+                                      : "info";
+      while (!done.load(std::memory_order_relaxed)) {
+        if (!StartsWith(core.Handle(request), "ok ")) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (int i = 0; i < kSwaps; ++i) {
+    const Status installed =
+        (i % 2 == 0) ? core.InstallCorpus(OtherCorpus(), "odd")
+                     : core.InstallCorpus(SmallCorpus(), "even");
+    ASSERT_TRUE(installed.ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  done.store(true, std::memory_order_relaxed);
+  for (std::thread& reader : readers) reader.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(core.Acquire()->epoch, static_cast<uint64_t>(kSwaps + 1));
+}
+
+}  // namespace
+}  // namespace culevo

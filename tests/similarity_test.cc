@@ -1,5 +1,7 @@
 #include "analysis/similarity.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace culevo {
@@ -52,6 +54,48 @@ TEST(NearestCuisinesTest, OrdersByDistance) {
   EXPECT_EQ(neighbors[0].cuisine, 1);
   EXPECT_EQ(neighbors[1].cuisine, 2);
   EXPECT_LT(neighbors[0].distance, neighbors[1].distance);
+}
+
+TEST(UsageProfileTest, SparseProfileMatchesDenseDefinition) {
+  const RecipeCorpus corpus = ThreeCuisines();
+  const CuisineUsageProfile profile = BuildUsageProfile(corpus, 0);
+  // Cuisine 0: ingredient 1 in 2/2 recipes, 2 in 2/2, 3 in 1/2.
+  ASSERT_EQ(profile.ingredients, (std::vector<IngredientId>{1, 2, 3}));
+  ASSERT_EQ(profile.fractions.size(), 3u);
+  EXPECT_DOUBLE_EQ(profile.fractions[0], 1.0);
+  EXPECT_DOUBLE_EQ(profile.fractions[1], 1.0);
+  EXPECT_DOUBLE_EQ(profile.fractions[2], 0.5);
+  EXPECT_DOUBLE_EQ(profile.norm, std::sqrt(1.0 + 1.0 + 0.25));
+  EXPECT_TRUE(BuildUsageProfile(corpus, 5).empty());
+}
+
+// The cached-profile distance must be bit-identical to the per-query
+// IngredientUsageDistance it replaced (same accumulation order, zero
+// terms contribute exactly 0.0), so downstream rankings cannot shift.
+TEST(UsageProfileTest, CacheDistanceBitIdenticalToDirect) {
+  const RecipeCorpus corpus = ThreeCuisines();
+  const UsageProfileCache cache(corpus);
+  for (int a = 0; a < kNumCuisines; ++a) {
+    for (int b = 0; b < kNumCuisines; ++b) {
+      EXPECT_EQ(cache.Distance(static_cast<CuisineId>(a),
+                               static_cast<CuisineId>(b)),
+                IngredientUsageDistance(corpus, static_cast<CuisineId>(a),
+                                        static_cast<CuisineId>(b)))
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(UsageProfileTest, CachedNearestMatchesCorpusOverload) {
+  const RecipeCorpus corpus = ThreeCuisines();
+  const UsageProfileCache cache(corpus);
+  const auto direct = NearestCuisines(corpus, 0, 5);
+  const auto cached = NearestCuisines(cache, 0, 5);
+  ASSERT_EQ(cached.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(cached[i].cuisine, direct[i].cuisine);
+    EXPECT_EQ(cached[i].distance, direct[i].distance);
+  }
 }
 
 TEST(AgglomerativeClusterTest, MergesClosestFirst) {

@@ -1,0 +1,49 @@
+#include "util/signal.h"
+
+#include <csignal>
+
+#include <gtest/gtest.h>
+
+namespace culevo {
+namespace {
+
+TEST(SignalTest, SigintAndSigtermCancelTheInstalledToken) {
+  CancelToken token;
+  InstallCancelHandlers(&token);
+  EXPECT_FALSE(token.cancel_requested());
+  ASSERT_EQ(std::raise(SIGINT), 0);
+  EXPECT_TRUE(token.cancel_requested());
+
+  CancelToken second;
+  InstallCancelHandlers(&second);
+  ASSERT_EQ(std::raise(SIGTERM), 0);
+  EXPECT_TRUE(second.cancel_requested());
+
+  InstallCancelHandlers(nullptr);  // restore defaults for other tests
+}
+
+TEST(SignalTest, ReloadRequestHasConsumeSemantics) {
+  InstallReloadHandler();
+  ConsumeReloadRequest();  // drain any leftover state
+  EXPECT_FALSE(ConsumeReloadRequest());
+
+  ASSERT_EQ(std::raise(SIGHUP), 0);
+  EXPECT_TRUE(ConsumeReloadRequest());
+  EXPECT_FALSE(ConsumeReloadRequest()) << "flag must reset on consume";
+
+  // Coalescing: two signals before one consume read as one request.
+  ASSERT_EQ(std::raise(SIGHUP), 0);
+  ASSERT_EQ(std::raise(SIGHUP), 0);
+  EXPECT_TRUE(ConsumeReloadRequest());
+  EXPECT_FALSE(ConsumeReloadRequest());
+  std::signal(SIGHUP, SIG_DFL);
+}
+
+TEST(SignalTest, TestHookRaisesTheFlag) {
+  ConsumeReloadRequest();
+  RequestReloadForTest();
+  EXPECT_TRUE(ConsumeReloadRequest());
+}
+
+}  // namespace
+}  // namespace culevo
