@@ -24,6 +24,7 @@
 #include "core/copy_mutate.h"
 #include "core/evaluator.h"
 #include "core/null_model.h"
+#include "exec/fabric.h"
 #include "util/csv.h"
 #include "util/json.h"
 #include "util/table_printer.h"
@@ -58,6 +59,41 @@ int Run(int argc, char** argv) {
   config.checkpoint.directory = options.flags.GetString("checkpoint", "");
   config.checkpoint.resume = options.flags.GetBool("resume", false);
   config.checkpoint.sync = false;
+
+  // --workers <n> shards every per-cuisine simulation across n supervised
+  // worker processes (re-execs of this binary with --worker-shard; see
+  // exec/fabric.h), then merges the shard journals and finishes in
+  // process — output bit-identical to --workers 1.
+  const int workers =
+      static_cast<int>(options.flags.GetInt("workers", 1));
+  const bool is_worker = options.flags.Has("worker-shard");
+  if (workers > 1 && !config.checkpoint.enabled()) {
+    return reporter.Fail(Status::InvalidArgument(
+        "--workers requires --checkpoint <dir>"));
+  }
+  if (is_worker) {
+    config.shard.index =
+        static_cast<int>(options.flags.GetInt("worker-shard", 0));
+    config.shard.count = workers;
+    config.checkpoint.resume = true;
+  } else if (workers > 1) {
+    FabricOptions fabric;
+    fabric.workers = workers;
+    fabric.checkpoint_dir = config.checkpoint.directory;
+    fabric.stall_ms =
+        static_cast<int>(options.flags.GetInt("worker-stall-ms", 30000));
+    fabric.max_worker_retries =
+        static_cast<int>(options.flags.GetInt("worker-retries", 2));
+    Result<FabricReport> dispatched =
+        RunWorkerFabric(std::vector<std::string>(argv, argv + argc), fabric);
+    if (!dispatched.ok()) {
+      return reporter.Fail(dispatched.status());
+    }
+    std::printf("fabric %s\n",
+                FabricReportToJson(dispatched.value()).c_str());
+    config.checkpoint.resume = true;
+    config.checkpoint.merge_shards = workers;
+  }
 
   std::printf(
       "\n== Fig. 4: ingredient-combination MAE, model vs empirical "
@@ -101,6 +137,7 @@ int Run(int argc, char** argv) {
     if (!ev.ok()) {
       return reporter.Fail(ev.status());
     }
+    if (is_worker) continue;  // results live in the shard journals
     const CuisineEvaluation& evaluation = ev.value();
     const size_t best = evaluation.BestByIngredientMae();
     const ModelScore& nm_score = evaluation.scores[3];
@@ -176,6 +213,7 @@ int Run(int argc, char** argv) {
          TablePrinter::Num(nm_score.mae_ingredient / std::max(1e-12, best_cm),
                            1)});
   }
+  if (is_worker) return 0;  // the coordinator prints; we only journal
   table.Print(std::cout);
 
   std::printf("\nWinner distribution:");

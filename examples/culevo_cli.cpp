@@ -25,8 +25,18 @@
 // same command with --resume restores the completed replicas and finishes
 // only the remainder — bit-identical results to an uninterrupted run. See
 // DESIGN.md §10 and EXPERIMENTS.md for the workflow.
+//
+// Multi-process execution (evaluate): --workers <n> re-execs this binary
+// n times with the hidden --worker-shard flag; each worker journals its
+// replica shard into --checkpoint <dir> (required) while the coordinator
+// supervises progress heartbeats, SIGKILLs workers stalled past
+// --worker-stall-ms, and re-dispatches crashed shards up to
+// --worker-retries times. A final in-process pass merges the shard
+// journals and re-runs anything no worker finished — results are
+// bit-identical to --workers 1. See DESIGN.md §12.
 
 #include <iostream>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/metrics_json.h"
@@ -40,6 +50,7 @@
 #include "corpus/corpus_snapshot.h"
 #include "corpus/corpus_stats.h"
 #include "corpus/ingestion.h"
+#include "exec/fabric.h"
 #include "lexicon/lexicon_io.h"
 #include "lexicon/world_lexicon.h"
 #include "synth/generator.h"
@@ -63,6 +74,13 @@ CancelToken& GlobalCancel() {
   return token;
 }
 
+// The original command line, captured in main: the fabric coordinator
+// re-execs it verbatim (plus --worker-shard) to spawn workers.
+std::vector<std::string>& OriginalArgv() {
+  static std::vector<std::string> argv;
+  return argv;
+}
+
 int Usage() {
   std::cerr
       << "usage: culevo_cli <stats|evaluate|generate|ingest|export-corpus|"
@@ -77,7 +95,9 @@ int Usage() {
          "more than k replicas fail) --retries <n> (per-replica retries) "
          "--checkpoint <dir> (journal completed replicas for crash "
          "recovery) --resume (restore completed replicas from the "
-         "checkpoint journal)\n";
+         "checkpoint journal) --workers <n> (shard replicas across n "
+         "supervised worker processes; requires --checkpoint) "
+         "--worker-stall-ms <n> --worker-retries <n>\n";
   return 2;
 }
 
@@ -161,12 +181,62 @@ int RunEvaluate(const FlagParser& flags) {
                  "resume from)\n";
     return 2;
   }
+
+  const int workers = static_cast<int>(flags.GetInt("workers", 1));
+  const bool is_worker = flags.Has("worker-shard");
+  if (workers > 1 && !config.checkpoint.enabled()) {
+    std::cerr << "--workers requires --checkpoint <dir> (shard journals "
+                 "are how workers hand results to the coordinator)\n";
+    return 2;
+  }
+  if (is_worker) {
+    // Hidden worker mode (the coordinator spawns us with this flag):
+    // compute only the owned shard of the replica grid into the shard
+    // journal. Resume is forced on so a re-dispatched worker skips what
+    // its killed predecessor already journaled.
+    config.shard.index = static_cast<int>(flags.GetInt("worker-shard", 0));
+    config.shard.count = workers;
+    config.checkpoint.resume = true;
+  }
+
+  std::string fabric_json;
+  if (workers > 1 && !is_worker) {
+    FabricOptions fabric;
+    fabric.workers = workers;
+    fabric.checkpoint_dir = config.checkpoint.directory;
+    fabric.stall_ms =
+        static_cast<int>(flags.GetInt("worker-stall-ms", 30000));
+    fabric.max_worker_retries =
+        static_cast<int>(flags.GetInt("worker-retries", 2));
+    fabric.failure_policy = config.failure_policy;
+    fabric.tolerate_k = config.tolerate_k;
+    fabric.cancel = &GlobalCancel();
+    Result<FabricReport> dispatched =
+        RunWorkerFabric(OriginalArgv(), fabric);
+    if (!dispatched.ok()) {
+      std::cerr << dispatched.status() << "\n";
+      return 1;
+    }
+    fabric_json = FabricReportToJson(dispatched.value());
+    // Final pass: fold the shard journals into the canonical per-model
+    // journals and resume from them in-process — restored replicas are
+    // bit-identical to locally computed ones, and whatever no shard
+    // finished (tolerated stragglers) is re-run here with its canonical
+    // seed.
+    config.checkpoint.resume = true;
+    config.checkpoint.merge_shards = workers;
+  }
+
   Result<CuisineEvaluation> evaluation = EvaluateCuisine(
       *corpus, cuisine.value(), lexicon,
       {cm_r.get(), cm_c.get(), cm_m.get(), &nm}, config);
   if (!evaluation.ok()) {
     std::cerr << evaluation.status() << "\n";
     return 1;
+  }
+  if (is_worker) return 0;  // results live in the shard journals
+  if (!fabric_json.empty()) {
+    std::cout << "fabric " << fabric_json << "\n";
   }
   TablePrinter table({"Model", "MAE ingredient", "MAE category"});
   for (const ModelScore& score : evaluation->scores) {
@@ -327,6 +397,7 @@ int main(int argc, char** argv) {
     std::cerr << s << "\n";
     return 2;
   }
+  OriginalArgv().assign(argv, argv + argc);
   // SIGINT and SIGTERM (what docker stop / Kubernetes / CI runners send
   // on shutdown) request a cooperative cancel, so checkpointed runs flush
   // a resumable journal instead of dying mid-write.

@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstring>
 #include <map>
+#include <set>
 
 #include "obs/metrics.h"
 #include "util/hash.h"
@@ -274,6 +275,144 @@ uint64_t HashCuisineContext(const CuisineContext& context,
   return hash;
 }
 
+std::string ShardJournalFileName(const std::string& file_name,
+                                 int shard_index) {
+  constexpr std::string_view kSuffix = ".journal";
+  std::string stem = file_name;
+  if (stem.size() >= kSuffix.size() &&
+      std::string_view(stem).substr(stem.size() - kSuffix.size()) ==
+          kSuffix) {
+    stem.resize(stem.size() - kSuffix.size());
+  }
+  return StrFormat("%s.shard%d.journal", stem.c_str(), shard_index);
+}
+
+Status MergeShardJournals(const CheckpointOptions& options,
+                          const std::string& file_name,
+                          const RunManifest& manifest, int shard_count) {
+  if (!options.enabled()) {
+    return Status::InvalidArgument(
+        "MergeShardJournals requires a checkpoint directory");
+  }
+  if (shard_count <= 0) {
+    return Status::InvalidArgument("MergeShardJournals: shard_count <= 0");
+  }
+  static obs::Counter* shards_merged_metric =
+      obs::MetricsRegistry::Get().counter("exec.merge.shards_merged");
+  static obs::Counter* records_merged_metric =
+      obs::MetricsRegistry::Get().counter("exec.merge.records_merged");
+  static obs::Counter* quarantined_metric =
+      obs::MetricsRegistry::Get().counter("exec.merge.quarantined_records");
+
+  CULEVO_RETURN_IF_ERROR(EnsureDirectory(options.directory));
+  const std::string target_path = options.directory + "/" + file_name;
+
+  // Union state: first occurrence of a unit wins, so the pre-existing
+  // target journal (absorbed first) shadows shards, and earlier shards
+  // shadow later ones. Which copy wins is immaterial for correctness —
+  // any journaled replica k is the deterministic output of
+  // DeriveSeed(seed, k) — dedup just keeps the merged journal canonical.
+  std::vector<std::string> merged;
+  std::set<int> seen_replicas;
+  std::set<int> seen_points;
+  std::set<std::string> seen_incidents;
+  int quarantined = 0;
+
+  const auto absorb = [&](const JournalContents& contents,
+                          const std::string& path) -> Status {
+    RunManifest loaded;
+    CULEVO_RETURN_IF_ERROR(ParseManifest(contents.records[0], &loaded));
+    CULEVO_RETURN_IF_ERROR(CheckManifest(loaded, manifest, path));
+    for (size_t i = 1; i < contents.records.size(); ++i) {
+      const std::string& record = contents.records[i];
+      const Fields fields = ParseFields(record);
+      const std::string kind = FieldString(fields, "kind");
+      long long unit = 0;
+      if (kind == "replica") {
+        if (!FieldInt(fields, "k", &unit)) {
+          return Status::FailedPrecondition(StrFormat(
+              "journal %s: unreadable replica record %zu", path.c_str(), i));
+        }
+        if (!seen_replicas.insert(static_cast<int>(unit)).second) continue;
+      } else if (kind == "sweep") {
+        if (!FieldInt(fields, "i", &unit)) {
+          return Status::FailedPrecondition(StrFormat(
+              "journal %s: unreadable sweep record %zu", path.c_str(), i));
+        }
+        if (!seen_points.insert(static_cast<int>(unit)).second) continue;
+      } else if (kind == "incident") {
+        // The union of the shards' incident ledgers, deduplicated by
+        // exact payload so a re-merged target contributes each incident
+        // once.
+        if (!seen_incidents.insert(record).second) continue;
+      } else {
+        // Interrupt (and unknown) records describe why one *process*
+        // stopped; the merged logical run supersedes them.
+        continue;
+      }
+      merged.push_back(record);
+    }
+    return Status::Ok();
+  };
+
+  // Existing target first: a coordinator crash between a prior merge and
+  // the end of its resume pass must not discard what that pass already
+  // consolidated or appended. Re-merging is idempotent.
+  Result<JournalContents> target = ReadJournal(target_path);
+  if (target.ok()) {
+    if (target.value().records.empty()) {
+      return Status::FailedPrecondition(StrFormat(
+          "merge refused: journal %s has no readable manifest "
+          "(%d corrupt record(s) quarantined); delete it to start over",
+          target_path.c_str(), target.value().quarantined_records));
+    }
+    CULEVO_RETURN_IF_ERROR(absorb(target.value(), target_path));
+    quarantined += target.value().quarantined_records;
+  } else if (target.status().code() != StatusCode::kNotFound) {
+    return target.status();
+  }
+
+  int shards_found = 0;
+  for (int s = 0; s < shard_count; ++s) {
+    const std::string shard_path =
+        options.directory + "/" + ShardJournalFileName(file_name, s);
+    Result<JournalContents> shard = ReadJournal(shard_path);
+    if (!shard.ok()) {
+      if (shard.status().code() == StatusCode::kNotFound) {
+        // Worker never got far enough to open its journal; the resume
+        // pass after the merge re-runs its units (straggler recovery).
+        continue;
+      }
+      return shard.status();
+    }
+    if (shard.value().records.empty()) {
+      return Status::FailedPrecondition(StrFormat(
+          "merge refused: shard journal %s has no readable manifest "
+          "(%d corrupt record(s) quarantined); delete it to start over",
+          shard_path.c_str(), shard.value().quarantined_records));
+    }
+    CULEVO_RETURN_IF_ERROR(absorb(shard.value(), shard_path));
+    quarantined += shard.value().quarantined_records;
+    ++shards_found;
+  }
+
+  std::vector<std::string> records;
+  records.reserve(merged.size() + 1);
+  records.push_back(FormatManifest(manifest));
+  for (std::string& record : merged) records.push_back(std::move(record));
+
+  JournalWriter writer;
+  JournalWriter::Options writer_options;
+  writer_options.sync = options.sync;
+  CULEVO_RETURN_IF_ERROR(
+      writer.Open(target_path, std::move(records), writer_options));
+
+  shards_merged_metric->Increment(shards_found);
+  records_merged_metric->Increment(static_cast<int64_t>(merged.size()));
+  quarantined_metric->Increment(quarantined);
+  return Status::Ok();
+}
+
 std::string SanitizeFileToken(std::string_view name) {
   std::string out;
   out.reserve(name.size());
@@ -298,6 +437,14 @@ Result<std::unique_ptr<RunJournal>> RunJournal::Open(
   }
   CULEVO_RETURN_IF_ERROR(EnsureDirectory(options.directory));
   const std::string path = options.directory + "/" + file_name;
+
+  // Coordinator mode: consolidate worker shard journals into `path`
+  // before the normal resume protocol reads it. Everything below then
+  // treats the merged journal exactly like a single-process one.
+  if (options.resume && options.merge_shards > 0) {
+    CULEVO_RETURN_IF_ERROR(
+        MergeShardJournals(options, file_name, manifest, options.merge_shards));
+  }
 
   std::unique_ptr<RunJournal> journal(new RunJournal());
   JournalWriter::Options writer_options;

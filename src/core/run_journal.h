@@ -35,6 +35,13 @@ struct CheckpointOptions {
   /// fsync journal writes (see JournalWriter::Options::sync). The CLI
   /// runs durable; tests and benches keep tmpfs churn down.
   bool sync = false;
+  /// When > 0 (and `resume` is set), RunJournal::Open first folds the
+  /// per-worker shard journals `<stem>.shard<k>.journal` for
+  /// k < merge_shards into the target journal (see MergeShardJournals),
+  /// then resumes from the merged result. This is the coordinator's final
+  /// pass after a fabric run: restored shards plus the normal resume
+  /// protocol re-running whatever no shard completed.
+  int merge_shards = 0;
 
   bool enabled() const { return !directory.empty(); }
 };
@@ -101,6 +108,32 @@ Status IncidentStatus(const IncidentCheckpoint& incident);
 /// Lowercases `name` and maps everything outside [a-z0-9] to '_', for
 /// journal file names derived from model/sweep names.
 std::string SanitizeFileToken(std::string_view name);
+
+/// Name of shard `shard_index`'s journal for the logical journal
+/// `file_name`: inserts `.shard<k>` before the `.journal` suffix
+/// (`sim_cm_c0.journal` → `sim_cm_c0.shard3.journal`). Workers write these;
+/// MergeShardJournals folds them back into `file_name`.
+std::string ShardJournalFileName(const std::string& file_name,
+                                 int shard_index);
+
+/// Folds the shard journals `<stem>.shard<k>.journal` (k < shard_count)
+/// under `options.directory` into the target journal `file_name`, written
+/// durably via the journal writer. Every readable source — the existing
+/// target journal first (so a re-merge after a crashed merge pass keeps
+/// prior consolidation), then each shard in index order — must carry a
+/// manifest matching `manifest` under the usual refusal matrix
+/// (FailedPrecondition otherwise). Corrupt shard tails are quarantined by
+/// the checksummed reader exactly as in single-journal resume, so a
+/// worker killed mid-append loses at most its unflushed record. Completed
+/// units are unioned first-wins (replicas by k, sweep points by index,
+/// incidents by exact payload); per-process interrupt records are
+/// dropped. A missing shard file is skipped — that worker never started,
+/// and the resume pass after the merge re-runs its units. A shard file
+/// with no readable manifest is refused: nothing certifies what run wrote
+/// it.
+Status MergeShardJournals(const CheckpointOptions& options,
+                          const std::string& file_name,
+                          const RunManifest& manifest, int shard_count);
 
 /// The domain layer over util/checkpoint.h: serializes run records
 /// (manifest, replica, incident, sweep point, interrupt) and implements

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
@@ -150,6 +152,17 @@ Result<SimulationResult> RunSimulation(const EvolutionModel& model,
   if (config.max_replica_retries < 0) {
     return Status::InvalidArgument("max_replica_retries must be >= 0");
   }
+  if (config.shard.count < 1 || config.shard.index < 0 ||
+      config.shard.index >= config.shard.count) {
+    return Status::InvalidArgument(StrFormat(
+        "shard index %d out of range for %d shard(s)", config.shard.index,
+        config.shard.count));
+  }
+  if (config.shard.active() && !config.checkpoint.enabled()) {
+    return Status::InvalidArgument(
+        "sharded execution requires a checkpoint directory: a shard's "
+        "result only exists as journal input to the merge pass");
+  }
 
   static obs::Counter* replicas_run =
       obs::MetricsRegistry::Get().counter("sim.replicas_run");
@@ -176,9 +189,15 @@ Result<SimulationResult> RunSimulation(const EvolutionModel& model,
     manifest.replicas = config.replicas;
     manifest.mining_hash = HashMiningConfig(config.mining);
     manifest.context_hash = HashCuisineContext(context, lexicon);
-    const std::string file_name = StrFormat(
+    // A shard journals into its own file but under the FULL run manifest
+    // (global seed/replica count), which is exactly what lets the merge
+    // pass check all shards against one identity.
+    std::string file_name = StrFormat(
         "sim_%s_c%d.journal", SanitizeFileToken(model.name()).c_str(),
         static_cast<int>(context.cuisine));
+    if (config.shard.active()) {
+      file_name = ShardJournalFileName(file_name, config.shard.index);
+    }
     Result<std::unique_ptr<RunJournal>> opened =
         RunJournal::Open(config.checkpoint, file_name, manifest);
     if (!opened.ok()) return opened.status();
@@ -222,10 +241,23 @@ Result<SimulationResult> RunSimulation(const EvolutionModel& model,
   mining.cancel = config.cancel;
 
   const auto run_replica = [&](size_t k) {
-    if (restored[k]) return;  // completed by a prior attempt
+    if (!config.shard.owns(k)) return;  // another worker's unit
+    if (restored[k]) return;            // completed by a prior attempt
     if (CancelToken::ShouldStop(config.cancel)) {
       statuses[k] = CancelToken::Check(config.cancel);
       return;
+    }
+    if (config.shard.active()) {
+      // Fault-injection hook for the fabric's stall supervision: an armed
+      // `exec.worker.stall` turns this replica into a hang (bounded, so a
+      // missed SIGKILL cannot wedge the test suite forever). Sharded-only:
+      // a single-process run has no supervisor to rescue it.
+      if (!FailpointCheck("exec.worker.stall").ok()) {
+        for (int slice = 0; slice < 600; ++slice) {
+          if (CancelToken::ShouldStop(config.cancel)) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+      }
     }
     Status status;
     int attempt = 0;
@@ -320,7 +352,13 @@ Result<SimulationResult> RunSimulation(const EvolutionModel& model,
   if (!journal_error.ok()) return journal_error;
 
   RunReport report;
-  report.replicas_requested = config.replicas;
+  // A shard accounts only for its own units: the coordinator's merged
+  // resume pass rebuilds the whole-run report afterwards.
+  int owned = 0;
+  for (size_t k = 0; k < n; ++k) {
+    owned += config.shard.owns(k) ? 1 : 0;
+  }
+  report.replicas_requested = owned;
   if (journal != nullptr) {
     // Ledger continuity: failures journaled by prior attempts of this
     // logical run stay visible even though their replicas were re-run.
@@ -331,6 +369,7 @@ Result<SimulationResult> RunSimulation(const EvolutionModel& model,
   }
   const Status* first_failure = nullptr;
   for (size_t k = 0; k < n; ++k) {
+    if (!config.shard.owns(k)) continue;
     if (statuses[k].ok()) {
       ++report.replicas_succeeded;
     } else {
@@ -355,17 +394,18 @@ Result<SimulationResult> RunSimulation(const EvolutionModel& model,
   }
 
   SimulationResult result;
-  if (!report.degraded()) {
+  if (!report.degraded() && !config.shard.active()) {
     result.ingredient_curve = AverageRankFrequencies(ingredient_curves);
     result.category_curve = AverageRankFrequencies(category_curves);
   } else {
-    // Aggregate the survivors only, so a lost replica dilutes nothing.
+    // Aggregate the survivors only, so a lost replica (or, on a shard,
+    // another worker's empty slot) dilutes nothing.
     std::vector<RankFrequency> ok_ingredient;
     std::vector<RankFrequency> ok_category;
     ok_ingredient.reserve(static_cast<size_t>(report.replicas_succeeded));
     ok_category.reserve(static_cast<size_t>(report.replicas_succeeded));
     for (size_t k = 0; k < n; ++k) {
-      if (!statuses[k].ok()) continue;
+      if (!config.shard.owns(k) || !statuses[k].ok()) continue;
       ok_ingredient.push_back(ingredient_curves[k]);
       ok_category.push_back(category_curves[k]);
     }

@@ -66,6 +66,27 @@ std::string RunReportToJson(const RunReport& report);
 /// and excluded — a checkpoint manifest must not depend on them.
 uint64_t HashMiningConfig(const CombinationConfig& mining);
 
+/// Multi-process sharding of the work grid (see exec/fabric.h). The
+/// coordinator spawns `count` workers; worker `index` computes only the
+/// units it owns — replicas inside RunSimulation, sweep points inside
+/// RunSweep — journaling them into a `.shard<index>` journal that
+/// MergeShardJournals later folds back together. Unit identity stays
+/// GLOBAL: replica k uses DeriveSeed(seed, k) whatever the layout, so the
+/// merged output is bit-identical to a single-process run and independent
+/// of worker count, scheduling, and which shard computed what. The
+/// default {0, 1} means "not sharded".
+struct ShardSpec {
+  int index = 0;
+  int count = 1;
+
+  bool active() const { return count > 1; }
+  /// True when this shard computes global unit `unit` (round-robin).
+  bool owns(size_t unit) const {
+    return !active() ||
+           static_cast<int>(unit % static_cast<size_t>(count)) == index;
+  }
+};
+
 /// Multi-replica simulation settings. The paper aggregates 100 replicas;
 /// benches default lower for the single-core harness and expose a flag.
 struct SimulationConfig {
@@ -107,6 +128,15 @@ struct SimulationConfig {
   /// durability). On cancellation an `interrupt` record is flushed
   /// best-effort before kCancelled/kDeadlineExceeded is returned.
   CheckpointOptions checkpoint;
+
+  /// Worker-process sharding. When active, only owned replicas are run,
+  /// journaled (into the `.shard<index>` journal), and aggregated — the
+  /// returned result covers this shard's survivors only and non-owned
+  /// slots of `replica_ingredient_curves` stay empty, so sharded
+  /// execution REQUIRES checkpointing (InvalidArgument otherwise): the
+  /// partial result is only meaningful as journal input to the
+  /// coordinator's merge pass.
+  ShardSpec shard;
 };
 
 /// Aggregated output of running one model on one cuisine context.

@@ -43,9 +43,16 @@ Result<std::vector<SweepPoint>> RunSweep(
     const std::function<void(ModelParams&, double)>& apply) {
   // The per-point evaluations must not journal themselves: the sweep point
   // is the checkpoint granule here, and child journals would collide
-  // across points (every point runs the same model name).
+  // across points (every point runs the same model name). Sharding is
+  // likewise consumed at point granularity — the inner simulation must
+  // not also split its replicas.
   SimulationConfig child = config;
   child.checkpoint = CheckpointOptions{};
+  child.shard = ShardSpec{};
+  if (config.shard.active() && !config.checkpoint.enabled()) {
+    return Status::InvalidArgument(
+        "sharded sweep execution requires a checkpoint directory");
+  }
 
   std::vector<SweepPoint> points(values.size());
   std::vector<char> done(values.size(), 0);
@@ -72,9 +79,12 @@ Result<std::vector<SweepPoint>> RunSweep(
     if (!context.ok()) return context.status();
     manifest.context_hash = HashCuisineContext(context.value(), lexicon);
 
-    const std::string file_name = StrFormat(
+    std::string file_name = StrFormat(
         "sweep_%s_c%d.journal", SanitizeFileToken(sweep_name).c_str(),
         static_cast<int>(cuisine));
+    if (config.shard.active()) {
+      file_name = ShardJournalFileName(file_name, config.shard.index);
+    }
     Result<std::unique_ptr<RunJournal>> opened =
         RunJournal::Open(config.checkpoint, file_name, manifest);
     if (!opened.ok()) return opened.status();
@@ -89,7 +99,8 @@ Result<std::vector<SweepPoint>> RunSweep(
   }
 
   for (size_t i = 0; i < values.size(); ++i) {
-    if (done[i]) continue;  // completed by a prior attempt
+    if (!config.shard.owns(i)) continue;  // another worker's point
+    if (done[i]) continue;                // completed by a prior attempt
     if (Status cancelled = CancelToken::Check(config.cancel);
         !cancelled.ok()) {
       if (journal != nullptr) (void)journal->AppendInterrupt(cancelled);

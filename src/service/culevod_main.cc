@@ -17,9 +17,11 @@
 //   culevod --client /tmp/culevod.sock "overrep ITA 5"
 //
 // Flags: --threads <n> worker threads; --deadline-ms <n> default request
-// deadline; --max-inflight <n> admission-control cap; --metrics dumps the
-// metrics registry as JSON on exit (serve.* counters and latency
-// histograms).
+// deadline; --max-inflight <n> admission-control cap;
+// --client-read-timeout-ms <n> per-connection frame-read deadline (a
+// client stalling mid-frame is disconnected, serve.client_timeouts);
+// --metrics dumps the metrics registry as JSON on exit (serve.* counters
+// and latency histograms).
 
 #include <chrono>
 #include <cstring>
@@ -58,7 +60,8 @@ int Usage() {
          "       culevod --once [--load-snapshot <file>]\n"
          "       culevod --client <socket-path> [request...]\n"
          "flags: --scale <0..1> --seed <n> (synthesize when no snapshot) "
-         "--threads <n> --deadline-ms <n> --max-inflight <n> --metrics\n";
+         "--threads <n> --deadline-ms <n> --max-inflight <n> "
+         "--client-read-timeout-ms <n> --metrics\n";
   return 2;
 }
 
@@ -151,6 +154,8 @@ int RunServer(ServiceCore& core, const FlagParser& flags) {
   ServerOptions server_options;
   server_options.socket_path = flags.GetString("socket", "");
   server_options.threads = static_cast<int>(flags.GetInt("threads", 4));
+  server_options.client_read_timeout_ms =
+      static_cast<int>(flags.GetInt("client-read-timeout-ms", 5000));
   if (server_options.socket_path.empty()) return Usage();
 
   SocketServer server(&core, server_options);

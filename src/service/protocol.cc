@@ -1,14 +1,25 @@
 #include "service/protocol.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include <poll.h>
 #include <unistd.h>
 
 #include "util/strings.h"
 
 namespace culevo {
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds until `deadline`, clamped at zero once it has passed.
+int RemainingMillis(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? static_cast<int>(left.count()) : 0;
+}
 
 /// Writes exactly `len` bytes, looping over partial writes and EINTR.
 Status WriteAll(int fd, const char* data, size_t len) {
@@ -26,10 +37,32 @@ Status WriteAll(int fd, const char* data, size_t len) {
 }
 
 /// Reads exactly `len` bytes. `*got_any` reports whether at least one
-/// byte arrived (distinguishes clean EOF from a torn frame).
-Status ReadAll(int fd, char* data, size_t len, bool* got_any) {
+/// byte arrived (distinguishes clean EOF from a torn frame). With a
+/// deadline, every read is gated on poll() against the remaining time, so
+/// a stalled peer costs at most the deadline, never a hung thread.
+Status ReadAll(int fd, char* data, size_t len, bool* got_any,
+               bool has_deadline, Clock::time_point deadline) {
   size_t done = 0;
   while (done < len) {
+    if (has_deadline) {
+      const int remaining = RemainingMillis(deadline);
+      if (remaining == 0) {
+        return Status::DeadlineExceeded("frame read timed out");
+      }
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      pfd.revents = 0;
+      const int ready = ::poll(&pfd, 1, remaining);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(
+            StrFormat("frame read poll failed: %s", std::strerror(errno)));
+      }
+      if (ready == 0) {
+        return Status::DeadlineExceeded("frame read timed out");
+      }
+    }
     const ssize_t n = ::read(fd, data + done, len - done);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -64,10 +97,14 @@ Status WriteFrame(int fd, std::string_view payload) {
   return WriteAll(fd, payload.data(), payload.size());
 }
 
-Status ReadFrame(int fd, std::string* payload) {
+Status ReadFrame(int fd, std::string* payload, int timeout_ms) {
+  const bool has_deadline = timeout_ms >= 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
   bool got_any = false;
   char prefix[4];
-  CULEVO_RETURN_IF_ERROR(ReadAll(fd, prefix, sizeof(prefix), &got_any));
+  CULEVO_RETURN_IF_ERROR(
+      ReadAll(fd, prefix, sizeof(prefix), &got_any, has_deadline, deadline));
   const uint32_t len = static_cast<uint32_t>(
       static_cast<unsigned char>(prefix[0]) |
       (static_cast<unsigned char>(prefix[1]) << 8) |
@@ -80,7 +117,7 @@ Status ReadFrame(int fd, std::string* payload) {
   }
   payload->resize(len);
   if (len == 0) return Status::Ok();
-  return ReadAll(fd, payload->data(), len, &got_any);
+  return ReadAll(fd, payload->data(), len, &got_any, has_deadline, deadline);
 }
 
 }  // namespace culevo

@@ -35,7 +35,15 @@ Status WriteFrame(int fd, std::string_view payload);
 ///   - EOF mid-frame                 -> DataLoss
 ///   - length prefix > kMaxFrameBytes-> InvalidArgument
 ///   - read error                    -> IOError
-Status ReadFrame(int fd, std::string* payload);
+///   - frame not complete within
+///     `timeout_ms` (when >= 0)      -> DeadlineExceeded
+///
+/// The deadline covers the WHOLE frame from the moment ReadFrame is
+/// entered; a trickling client cannot reset it byte by byte. Callers who
+/// only want to bound the mid-frame stall (not idle time between frames)
+/// should poll for readability first, as the server does. timeout_ms < 0
+/// waits forever (the pre-deadline behaviour).
+Status ReadFrame(int fd, std::string* payload, int timeout_ms = -1);
 
 }  // namespace culevo
 

@@ -120,10 +120,22 @@ void SocketServer::WorkerLoop() {
 }
 
 void SocketServer::ServeConnection(int fd) {
+  static obs::Counter* client_timeouts =
+      obs::MetricsRegistry::Get().counter("serve.client_timeouts");
+  // The deadline applies per frame, from first byte to last: PollReadable
+  // gates entry into ReadFrame, so a connection idling between requests
+  // is never charged — only one that starts a frame and stalls.
+  const int timeout_ms = options_.client_read_timeout_ms > 0
+                             ? options_.client_read_timeout_ms
+                             : -1;
   std::string request;
   while (!stopping_.load(std::memory_order_relaxed)) {
     if (!PollReadable(fd)) continue;
-    const Status read = ReadFrame(fd, &request);
+    const Status read = ReadFrame(fd, &request, timeout_ms);
+    if (read.code() == StatusCode::kDeadlineExceeded) {
+      client_timeouts->Increment();
+      return;
+    }
     // NotFound is the clean close; everything else (torn frame, bad
     // length, read error) also just drops the connection — there is no
     // frame boundary left to answer on.

@@ -20,6 +20,11 @@ struct ServerOptions {
   /// Worker threads; each handles one connection at a time, so this is
   /// also the connection-concurrency limit.
   int threads = 4;
+  /// Per-frame read deadline in milliseconds. A client that stalls
+  /// mid-frame past this gets its connection closed (and
+  /// `serve.client_timeouts` ticked) instead of pinning a worker thread
+  /// forever. Idle time between frames is not charged. <= 0 disables.
+  int client_read_timeout_ms = 5000;
 };
 
 /// Blocking Unix-socket front end of a ServiceCore.

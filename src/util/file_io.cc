@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -110,21 +111,34 @@ Status WriteAttempt(const std::string& path, std::string_view content,
 
 }  // namespace
 
+std::chrono::milliseconds NextBackoffDelay(std::chrono::milliseconds base,
+                                           std::chrono::milliseconds prev,
+                                           std::chrono::milliseconds cap,
+                                           Rng* rng) {
+  if (base.count() <= 0) return std::chrono::milliseconds{0};
+  const int64_t lo = base.count();
+  const int64_t hi = std::max(lo, prev.count() * 3);
+  const int64_t next = rng->NextInRange(lo, hi);
+  return std::chrono::milliseconds{std::min(next, cap.count())};
+}
+
 Status WriteFileAtomic(const std::string& path, std::string_view content,
                        const AtomicWriteOptions& options) {
   if (options.max_attempts < 1) {
     return Status::InvalidArgument("max_attempts must be >= 1");
   }
   const WriteMetrics& metrics = WriteMetrics::Get();
-  std::chrono::milliseconds backoff = options.retry_backoff;
+  Rng rng(options.backoff_seed != 0
+              ? options.backoff_seed
+              : DeriveSeed(0xB0FF0FFull, static_cast<uint64_t>(::getpid())));
+  std::chrono::milliseconds prev = options.retry_backoff;
   Status status;
   for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
     if (attempt > 0) {
       metrics.retries->Increment();
-      if (backoff.count() > 0) {
-        std::this_thread::sleep_for(backoff);
-        backoff *= 2;
-      }
+      prev = NextBackoffDelay(options.retry_backoff, prev,
+                              options.max_backoff, &rng);
+      if (prev.count() > 0) std::this_thread::sleep_for(prev);
     }
     status = WriteAttempt(path, content, options.sync);
     if (status.ok()) {

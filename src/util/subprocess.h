@@ -1,0 +1,89 @@
+#ifndef CULEVO_UTIL_SUBPROCESS_H_
+#define CULEVO_UTIL_SUBPROCESS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace culevo {
+
+/// How a finished child process ended.
+struct ExitState {
+  bool exited = false;    ///< true: normal exit, `code` valid
+  bool signaled = false;  ///< true: killed by signal, `signal` valid
+  int code = 0;
+  int signal = 0;
+
+  /// OK for a clean zero exit; Internal otherwise, with the exit code or
+  /// signal number in the message so supervisors can log one line.
+  Status ToStatus(const std::string& what) const;
+};
+
+/// Options for spawning one child process.
+struct SpawnOptions {
+  /// Extra environment entries, appended after the inherited environment
+  /// as "NAME=value" strings (later entries win for duplicate names on
+  /// glibc, which scans front-to-back — callers should not rely on
+  /// shadowing and instead pick fresh names).
+  std::vector<std::string> extra_env;
+  /// Redirect the child's stdout/stderr to /dev/null. Workers spawned by
+  /// the fabric use this so N children don't interleave on the
+  /// coordinator's terminal.
+  bool silence_stdout = false;
+  bool silence_stderr = false;
+};
+
+/// A fork/exec'd child process handle: non-blocking reaping, graceful
+/// termination with SIGKILL escalation, and guaranteed cleanup.
+///
+/// The handle owns the pid. Destroying a handle whose child is still
+/// running SIGKILLs and reaps it — a crashed coordinator never leaks
+/// workers past its own exit. Move-only.
+class Subprocess {
+ public:
+  Subprocess() = default;
+  ~Subprocess();
+
+  Subprocess(Subprocess&& other) noexcept { *this = std::move(other); }
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  /// fork + execvp. `argv[0]` is the program (resolved via PATH when it
+  /// has no slash). Returns InvalidArgument for an empty argv, IOError if
+  /// fork fails. An exec failure in the child surfaces as exit code 127
+  /// from Wait/TryWait, matching shell convention.
+  Status Spawn(const std::vector<std::string>& argv,
+               const SpawnOptions& options = {});
+
+  /// Non-blocking reap. Returns true and fills `state` once the child has
+  /// ended (idempotent afterwards: the final state is cached); false while
+  /// it is still running.
+  bool TryWait(ExitState* state);
+
+  /// Blocking reap.
+  ExitState Wait();
+
+  /// SIGTERM, then SIGKILL if the child is still alive after `grace_ms`,
+  /// then reap. Returns the final state. Safe to call on an already-ended
+  /// child.
+  ExitState Terminate(int grace_ms);
+
+  /// Immediate SIGKILL + reap.
+  ExitState Kill() { return Terminate(0); }
+
+  bool running() const { return pid_ > 0 && !reaped_; }
+  int64_t pid() const { return pid_; }
+
+ private:
+  int64_t pid_ = -1;
+  bool reaped_ = false;
+  ExitState state_;
+};
+
+}  // namespace culevo
+
+#endif  // CULEVO_UTIL_SUBPROCESS_H_

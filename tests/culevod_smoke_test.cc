@@ -7,6 +7,7 @@
 #include <csignal>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -49,16 +50,25 @@ int ConnectWithRetry(const std::string& path) {
 
 class CulevodSmokeTest : public ::testing::Test {
  protected:
+  /// Extra culevod flags appended by subclass fixtures.
+  virtual std::vector<std::string> ExtraArgs() const { return {}; }
+
   void SetUp() override {
     socket_path_ = SocketPath();
+    // Tiny synthetic corpus keeps startup fast; two workers exercise
+    // the multi-threaded accept path.
+    std::vector<std::string> args = {
+        "culevod", "--socket", socket_path_, "--scale", "0.02",
+        "--threads", "2", "--deadline-ms", "60000"};
+    for (const std::string& extra : ExtraArgs()) args.push_back(extra);
     pid_ = ::fork();
     ASSERT_GE(pid_, 0) << "fork failed";
     if (pid_ == 0) {
-      // Tiny synthetic corpus keeps startup fast; two workers exercise
-      // the multi-threaded accept path.
-      ::execl(CULEVOD_PATH, "culevod", "--socket", socket_path_.c_str(),
-              "--scale", "0.02", "--threads", "2", "--deadline-ms", "60000",
-              static_cast<char*>(nullptr));
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv(CULEVOD_PATH, argv.data());
       ::_exit(127);  // exec failed
     }
     fd_ = ConnectWithRetry(socket_path_);
@@ -124,6 +134,40 @@ TEST_F(CulevodSmokeTest, ScriptedQueriesThenCleanSigtermDrain) {
 
   // The drained server unlinks its socket.
   EXPECT_NE(::access(socket_path_.c_str(), F_OK), 0);
+}
+
+class CulevodClientTimeoutTest : public CulevodSmokeTest {
+ protected:
+  std::vector<std::string> ExtraArgs() const override {
+    return {"--client-read-timeout-ms", "300"};
+  }
+};
+
+// A client that starts a frame and stalls must lose only its own
+// connection — after the read deadline the server closes it, and the
+// freed worker thread keeps serving fresh connections.
+TEST_F(CulevodClientTimeoutTest, MidFrameStallClosesOnlyThatConnection) {
+  EXPECT_EQ(Query("ping"), "ok 1\npong\n");
+
+  // Begin a frame claiming 16 payload bytes, then send nothing more.
+  const char prefix[4] = {16, 0, 0, 0};
+  ASSERT_EQ(::write(fd_, prefix, sizeof(prefix)), 4);
+
+  // The server must give up within its 300 ms deadline and close the
+  // connection: the client sees EOF (NotFound) instead of hanging. The
+  // client-side timeout here is only a hang guard for the test.
+  std::string response;
+  const Status stalled = ReadFrame(fd_, &response, 10000);
+  EXPECT_EQ(stalled.code(), StatusCode::kNotFound) << stalled;
+
+  // The worker thread is free again: a new connection still serves.
+  const int fresh = ConnectWithRetry(socket_path_);
+  ASSERT_GE(fresh, 0);
+  ASSERT_TRUE(WriteFrame(fresh, "ping").ok());
+  const Status read = ReadFrame(fresh, &response, 10000);
+  EXPECT_TRUE(read.ok()) << read;
+  EXPECT_EQ(response, "ok 1\npong\n");
+  ::close(fresh);
 }
 
 }  // namespace

@@ -1,0 +1,29 @@
+// The small deterministic cuisine context shared by the fabric tests and
+// the fabric_worker helper binary. The golden results computed in-process
+// by the tests and the shard journals written by spawned workers must
+// describe the SAME run (identical context hash in the manifest), so the
+// definition lives here exactly once.
+
+#ifndef CULEVO_TESTS_FABRIC_TEST_CONTEXT_H_
+#define CULEVO_TESTS_FABRIC_TEST_CONTEXT_H_
+
+#include "core/simulation.h"
+
+namespace culevo {
+
+inline CuisineContext FabricTestContext() {
+  CuisineContext context;
+  context.cuisine = 0;
+  for (IngredientId id = 0; id < 100; ++id) {
+    context.ingredients.push_back(id);
+  }
+  context.popularity.assign(100, 0.5);
+  context.mean_recipe_size = 6;
+  context.target_recipes = 160;
+  context.phi = 0.5;
+  return context;
+}
+
+}  // namespace culevo
+
+#endif  // CULEVO_TESTS_FABRIC_TEST_CONTEXT_H_

@@ -3,9 +3,13 @@
 // reproduce the uninterrupted run bit-for-bit, no matter how many
 // replicas the first attempt managed to finish. Also covers the
 // evaluator-level workflow the CLI drives: several models over one
-// cuisine, killed during a later model's run, resumed to completion.
+// cuisine, killed during a later model's run, resumed to completion —
+// and the fabric-era variant: a real worker process SIGKILLed mid-shard,
+// recovered by the coordinator's merge + resume pass.
 
 #include <gtest/gtest.h>
+
+#include <unistd.h>
 
 #include <filesystem>
 #include <string>
@@ -15,27 +19,18 @@
 #include "core/evaluator.h"
 #include "core/null_model.h"
 #include "core/simulation.h"
+#include "fabric_test_context.h"
 #include "lexicon/world_lexicon.h"
 #include "synth/generator.h"
 #include "util/cancel.h"
 #include "util/check.h"
 #include "util/failpoint.h"
+#include "util/subprocess.h"
 
 namespace culevo {
 namespace {
 
-CuisineContext SmallContext() {
-  CuisineContext context;
-  context.cuisine = 0;
-  for (IngredientId id = 0; id < 100; ++id) {
-    context.ingredients.push_back(id);
-  }
-  context.popularity.assign(100, 0.5);
-  context.mean_recipe_size = 6;
-  context.target_recipes = 160;
-  context.phi = 0.5;
-  return context;
-}
+CuisineContext SmallContext() { return FabricTestContext(); }
 
 /// Transparent wrapper that trips a CancelToken after a fixed number of
 /// generate calls; delegates name() and ConfigFingerprint() so the
@@ -208,6 +203,64 @@ TEST_F(KillResumeTest, EvaluateCuisineKilledMidModelResumes) {
   ASSERT_TRUE(again.ok());
   EXPECT_EQ(again->scores[0].ingredient_curve.values(),
             golden->scores[0].ingredient_curve.values());
+}
+
+// The fabric-era kill: a real worker process (fabric_worker, the binary
+// the exec-fabric suite dispatches) is SIGKILLed while journaling its
+// shard — no graceful shutdown, possibly zero replicas landed. The
+// coordinator-side merge + resume pass must absorb whatever survived,
+// recompute the rest (including the entire unstarted shard 1), and match
+// the single-process golden bit-for-bit.
+TEST_F(KillResumeTest, WorkerSigkilledMidShardMergesAndResumes) {
+  const Lexicon& lexicon = WorldLexicon();
+  const auto model = MakeCmR(&lexicon);
+  const CuisineContext context = SmallContext();
+  SimulationConfig config;
+  config.replicas = 7;
+  config.seed = 77;
+  Result<SimulationResult> golden =
+      RunSimulation(*model, context, lexicon, config);
+  ASSERT_TRUE(golden.ok());
+
+  const std::string dir = FreshDir("worker_kill");
+  Subprocess worker;
+  SpawnOptions spawn;
+  spawn.silence_stdout = true;
+  spawn.silence_stderr = true;
+  ASSERT_TRUE(worker
+                  .Spawn({FABRIC_WORKER_PATH, "--checkpoint", dir,
+                          "--replicas", "7", "--seed", "77", "--workers",
+                          "2", "--worker-shard", "0"},
+                         spawn)
+                  .ok());
+
+  // The shard journal appears the moment the worker opens it (the
+  // manifest is flushed immediately); killing right after that lands the
+  // SIGKILL mid-shard, before the worker can finish its units.
+  bool journal_seen = false;
+  for (int i = 0; i < 1500 && !journal_seen; ++i) {
+    if (std::filesystem::exists(dir)) {
+      for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.path().filename().string().find(".shard0.") !=
+            std::string::npos) {
+          journal_seen = true;
+          break;
+        }
+      }
+    }
+    if (!journal_seen) ::usleep(5 * 1000);
+  }
+  worker.Kill();
+
+  // Merge + resume: shard 0's salvaged prefix is restored, shard 1 never
+  // ran and is skipped as missing — the in-process pass closes both gaps.
+  SimulationConfig resumed = config;
+  resumed.checkpoint = Checkpointed(dir, true);
+  resumed.checkpoint.merge_shards = 2;
+  Result<SimulationResult> merged =
+      RunSimulation(*model, context, lexicon, resumed);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  ExpectBitIdentical(merged.value(), golden.value());
 }
 
 }  // namespace

@@ -1,0 +1,134 @@
+#include "util/subprocess.h"
+
+#include <csignal>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+namespace culevo {
+namespace {
+
+std::vector<std::string> Sh(const std::string& script) {
+  return {"/bin/sh", "-c", script};
+}
+
+TEST(SubprocessTest, CleanExitIsOkStatus) {
+  Subprocess child;
+  ASSERT_TRUE(child.Spawn(Sh("exit 0")).ok());
+  const ExitState state = child.Wait();
+  EXPECT_TRUE(state.exited);
+  EXPECT_EQ(state.code, 0);
+  EXPECT_TRUE(state.ToStatus("child").ok());
+  EXPECT_FALSE(child.running());
+}
+
+TEST(SubprocessTest, NonzeroExitSurfacesCode) {
+  Subprocess child;
+  ASSERT_TRUE(child.Spawn(Sh("exit 7")).ok());
+  const ExitState state = child.Wait();
+  EXPECT_TRUE(state.exited);
+  EXPECT_EQ(state.code, 7);
+  const Status status = state.ToStatus("worker");
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("7"), std::string::npos);
+}
+
+TEST(SubprocessTest, SignalDeathSurfacesSignal) {
+  Subprocess child;
+  ASSERT_TRUE(child.Spawn(Sh("kill -9 $$")).ok());
+  const ExitState state = child.Wait();
+  EXPECT_TRUE(state.signaled);
+  EXPECT_EQ(state.signal, SIGKILL);
+  EXPECT_FALSE(state.ToStatus("worker").ok());
+}
+
+TEST(SubprocessTest, ExecFailureIsExit127) {
+  Subprocess child;
+  ASSERT_TRUE(
+      child.Spawn({"/nonexistent/binary/for/this/test"}).ok());
+  const ExitState state = child.Wait();
+  EXPECT_TRUE(state.exited);
+  EXPECT_EQ(state.code, 127);
+}
+
+TEST(SubprocessTest, EmptyArgvRefused) {
+  Subprocess child;
+  EXPECT_EQ(child.Spawn({}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SubprocessTest, TryWaitIsNonBlockingAndIdempotent) {
+  Subprocess child;
+  ASSERT_TRUE(child.Spawn(Sh("sleep 30")).ok());
+  ExitState state;
+  EXPECT_FALSE(child.TryWait(&state));  // still running, returns at once
+  EXPECT_TRUE(child.running());
+  child.Kill();
+  // The final state is cached: every TryWait after the reap agrees.
+  ASSERT_TRUE(child.TryWait(&state));
+  EXPECT_TRUE(state.signaled);
+  EXPECT_EQ(state.signal, SIGKILL);
+  ExitState again;
+  ASSERT_TRUE(child.TryWait(&again));
+  EXPECT_EQ(again.signal, SIGKILL);
+}
+
+TEST(SubprocessTest, TerminateEscalatesToSigkill) {
+  Subprocess child;
+  // A child that ignores SIGTERM forces the escalation path. The trap
+  // keeps the shell from exec-replacing itself, so SIGKILLing it orphans
+  // the inner sleep — silenced output detaches that orphan from our
+  // stdout pipe, or ctest would wait the full 30 s for it to exit.
+  SpawnOptions options;
+  options.silence_stdout = true;
+  options.silence_stderr = true;
+  ASSERT_TRUE(child.Spawn(Sh("trap '' TERM; sleep 30"), options).ok());
+  // Give the shell a moment to install the trap; without it the SIGTERM
+  // may land first and the test would pass vacuously.
+  ::usleep(200 * 1000);
+  const ExitState state = child.Terminate(100);
+  EXPECT_TRUE(state.signaled);
+  EXPECT_EQ(state.signal, SIGKILL);
+}
+
+TEST(SubprocessTest, ExtraEnvReachesChild) {
+  Subprocess child;
+  SpawnOptions options;
+  options.extra_env = {"CULEVO_SUBPROCESS_TEST_TOKEN=42"};
+  ASSERT_TRUE(
+      child.Spawn(Sh("test \"$CULEVO_SUBPROCESS_TEST_TOKEN\" = 42"), options)
+          .ok());
+  const ExitState state = child.Wait();
+  EXPECT_TRUE(state.exited);
+  EXPECT_EQ(state.code, 0);
+}
+
+TEST(SubprocessTest, DestructorKillsLeakedChild) {
+  int64_t pid = -1;
+  {
+    Subprocess child;
+    ASSERT_TRUE(child.Spawn(Sh("sleep 30")).ok());
+    pid = child.pid();
+    ASSERT_GT(pid, 0);
+  }
+  // The destructor SIGKILLed and reaped the child, so the pid no longer
+  // names a process we may signal.
+  EXPECT_NE(::kill(static_cast<pid_t>(pid), 0), 0);
+}
+
+TEST(SubprocessTest, MoveTransfersOwnership) {
+  Subprocess a;
+  ASSERT_TRUE(a.Spawn(Sh("sleep 30")).ok());
+  const int64_t pid = a.pid();
+  Subprocess b = std::move(a);
+  EXPECT_FALSE(a.running());
+  EXPECT_TRUE(b.running());
+  EXPECT_EQ(b.pid(), pid);
+  const ExitState state = b.Kill();
+  EXPECT_TRUE(state.signaled);
+}
+
+}  // namespace
+}  // namespace culevo
