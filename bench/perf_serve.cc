@@ -25,11 +25,22 @@
 // p99 must stay under the default request deadline (250 ms) — a served
 // point query that blows the deadline budget at p99 would be rejected in
 // production, so the gate treats it as a regression.
+//
+// --assert-brownout-slo runs an additional overload phase and gates the
+// brownout policy itself: expensive `simulate` clients hammer a core with
+// the latency brownout trigger armed (--brownout-latency-ms, default 5)
+// while cheap point-query clients measure their own latency. The gate
+// (exit 1) requires that brownout actually shed expensive work
+// (serve.brownout.sheds grew), that no cheap query was rejected or
+// errored, and that the cheap clients' observed p99 stayed under
+// --brownout-cheap-p99-ms (default 100) — degraded service must stay
+// fast for the traffic it chose to keep.
 
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -223,6 +234,136 @@ int main(int argc, char** argv) {
                  error_responses.load(), served);
   }
 
+  // -- Brownout-under-overload phase (own core, brownout trigger armed) ----
+  bool brownout_passed = true;
+  if (options.flags.GetBool("assert-brownout-slo", false)) {
+    reporter.BeginPhase("brownout_overload");
+    const double cheap_p99_slo =
+        options.flags.GetDouble("brownout-cheap-p99-ms", 100.0);
+    const int64_t duration_ms =
+        options.flags.GetInt("brownout-duration-ms", 2000);
+    ServiceOptions brownout_options;  // production defaults...
+    brownout_options.brownout_latency_ms =
+        options.flags.GetDouble("brownout-latency-ms", 5.0);  // ...armed
+    ServiceCore brownout_core(&lexicon, brownout_options);
+    CULEVO_CHECK(brownout_core.InstallCorpus(corpus, "<bench>").ok());
+
+    const int64_t sheds_before = obs::MetricsRegistry::Get()
+                                     .counter("serve.brownout.sheds")
+                                     ->Value();
+    std::atomic<bool> stop{false};
+    std::atomic<size_t> expensive_admitted{0};
+    std::atomic<size_t> expensive_shed{0};
+    std::atomic<size_t> cheap_errors{0};
+
+    // Expensive load: simulate requests under the production deadline.
+    // Whether an admitted one finishes or is deadline-cancelled is
+    // irrelevant here — both spike the latency EMA, which is what trips
+    // the brownout and sheds the rest.
+    const int expensive_threads = std::max(2, threads);
+    std::vector<std::thread> hammers;
+    hammers.reserve(static_cast<size_t>(expensive_threads));
+    for (int t = 0; t < expensive_threads; ++t) {
+      hammers.emplace_back([&brownout_core, &stop, &expensive_admitted,
+                            &expensive_shed, t] {
+        const std::string request =
+            "simulate " + std::string(CuisineAt(0).code) +
+            " NM replicas=1 seed=" + std::to_string(t + 1);
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::string response = brownout_core.Handle(request);
+          if (response.find("retry-after-ms\t") != std::string::npos) {
+            expensive_shed.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            expensive_admitted.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+
+    // Cheap clients: the traffic brownout exists to protect. Client-side
+    // latency, measured around the whole Handle call.
+    const std::vector<std::string> cheap_requests = {
+        "overrep " + std::string(CuisineAt(0).code) + " 5",
+        "stats " + std::string(CuisineAt(1).code),
+        "nearest " + std::string(CuisineAt(2).code) + " 3",
+    };
+    std::vector<std::vector<double>> cheap_latencies(2);
+    std::vector<std::thread> cheap_clients;
+    for (size_t t = 0; t < cheap_latencies.size(); ++t) {
+      cheap_clients.emplace_back([&brownout_core, &stop, &cheap_errors,
+                                  &cheap_requests,
+                                  samples = &cheap_latencies[t], t] {
+        size_t i = t;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::string& request = cheap_requests[i++ %
+                                                      cheap_requests.size()];
+          const Stopwatch watch;
+          const std::string response = brownout_core.Handle(request);
+          samples->push_back(watch.ElapsedMillis());
+          if (response.rfind("ok ", 0) != 0) {
+            cheap_errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+    stop.store(true, std::memory_order_relaxed);
+    for (std::thread& thread : hammers) thread.join();
+    for (std::thread& thread : cheap_clients) thread.join();
+
+    const int64_t sheds = obs::MetricsRegistry::Get()
+                              .counter("serve.brownout.sheds")
+                              ->Value() -
+                          sheds_before;
+    std::vector<double> all_cheap;
+    for (const std::vector<double>& samples : cheap_latencies) {
+      all_cheap.insert(all_cheap.end(), samples.begin(), samples.end());
+    }
+    std::sort(all_cheap.begin(), all_cheap.end());
+    const double cheap_p99 =
+        all_cheap.empty()
+            ? 0.0
+            : all_cheap[std::min(all_cheap.size() - 1,
+                                 static_cast<size_t>(0.99 *
+                                                     all_cheap.size()))];
+
+    std::printf("%-18s %12lld\n", "brownout_sheds",
+                static_cast<long long>(sheds));
+    std::printf("%-18s %12zu\n", "cheap_served", all_cheap.size());
+    std::printf("%-18s %12.3f\n", "cheap_p99_ms", cheap_p99);
+    reporter.AddResult("brownout_sheds", static_cast<double>(sheds));
+    reporter.AddResult("brownout_expensive_admitted",
+                       static_cast<double>(expensive_admitted.load()));
+    reporter.AddResult("brownout_cheap_served",
+                       static_cast<double>(all_cheap.size()));
+    reporter.AddResult("brownout_cheap_p99_ms", cheap_p99);
+
+    if (sheds <= 0) {
+      std::fprintf(stderr,
+                   "BROWNOUT GATE FAILURE: overload never shed an "
+                   "expensive request (%zu admitted)\n",
+                   expensive_admitted.load());
+      brownout_passed = false;
+    }
+    if (cheap_errors.load() > 0) {
+      std::fprintf(stderr,
+                   "BROWNOUT GATE FAILURE: %zu cheap queries rejected or "
+                   "errored during brownout\n",
+                   cheap_errors.load());
+      brownout_passed = false;
+    }
+    if (cheap_p99 >= cheap_p99_slo) {
+      std::fprintf(stderr,
+                   "BROWNOUT GATE FAILURE: cheap-query p99 %.3f ms "
+                   "breaches the %.1f ms SLO under overload\n",
+                   cheap_p99, cheap_p99_slo);
+      brownout_passed = false;
+    }
+    std::printf("brownout gate: %s\n",
+                brownout_passed ? "PASS" : "FAIL (see stderr)");
+  }
+
   bool gate_passed = true;
   if (assert_slo) {
     if (qps < min_qps) {
@@ -244,6 +385,6 @@ int main(int argc, char** argv) {
   }
 
   const int exit_code = reporter.Finish();
-  if (!consistent || !gate_passed) return 1;
+  if (!consistent || !gate_passed || !brownout_passed) return 1;
   return exit_code;
 }

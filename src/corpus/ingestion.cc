@@ -1,11 +1,17 @@
 #include "corpus/ingestion.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstring>
 #include <map>
 
 #include "obs/metrics.h"
 #include "text/ingredient_parser.h"
 #include "text/stemmer.h"
+#include "util/csv.h"
+#include "util/failpoint.h"
+#include "util/file_io.h"
 #include "util/strings.h"
 
 namespace culevo {
@@ -252,6 +258,161 @@ Status IncrementalCorpus::WriteSnapshot(const std::string& path,
   delta_ = SnapshotWriter::Dirty{};
   delta_.columns_appended_only = true;
   return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// CULEVO-DELTA 1.
+
+namespace {
+
+constexpr char kDeltaMagic[8] = {'C', 'U', 'L', 'E', 'V', 'O', 'D', 'L'};
+constexpr uint32_t kDeltaEndianProbe = 0x01020304;
+constexpr uint64_t kDeltaFnvOffset = 0xCBF29CE484222325ull;
+constexpr uint64_t kDeltaFnvPrime = 0x100000001B3ull;
+
+uint64_t DeltaFnv1a(const void* data, size_t size,
+                    uint64_t state = kDeltaFnvOffset) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    state ^= bytes[i];
+    state *= kDeltaFnvPrime;
+  }
+  return state;
+}
+
+template <typename T>
+void DeltaAppendPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+/// Bounds-checked fixed-width read; false past the end of the file.
+template <typename T>
+bool DeltaReadPod(std::string_view bytes, size_t* cursor, T* out) {
+  if (bytes.size() - *cursor < sizeof(T)) return false;
+  std::memcpy(out, bytes.data() + *cursor, sizeof(T));
+  *cursor += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+uint64_t CorpusContentFingerprint(const RecipeCorpus& corpus) {
+  const std::span<const IngredientId> flat = corpus.flat();
+  const std::span<const uint32_t> offsets = corpus.offsets();
+  const std::span<const CuisineId> cuisines = corpus.cuisines();
+  uint64_t state = kDeltaFnvOffset;
+  state = DeltaFnv1a(flat.data(), flat.size_bytes(), state);
+  state = DeltaFnv1a(offsets.data(), offsets.size_bytes(), state);
+  state = DeltaFnv1a(cuisines.data(), cuisines.size_bytes(), state);
+  return state;
+}
+
+Status WriteCorpusDelta(const std::string& path, const CorpusDelta& delta,
+                        const SnapshotWriteOptions& options) {
+  std::string payload;
+  for (const CorpusDeltaRecord& record : delta.records) {
+    if (record.cuisine >= kNumCuisines) {
+      return Status::InvalidArgument(
+          StrFormat("delta record cuisine id %d out of range",
+                    static_cast<int>(record.cuisine)));
+    }
+    if (record.ingredients.empty()) {
+      return Status::InvalidArgument("delta record has no ingredients");
+    }
+    DeltaAppendPod<uint8_t>(&payload, record.cuisine);
+    DeltaAppendPod<uint32_t>(&payload,
+                             static_cast<uint32_t>(record.ingredients.size()));
+    for (const IngredientId id : record.ingredients) {
+      DeltaAppendPod<IngredientId>(&payload, id);
+    }
+  }
+
+  std::string content;
+  content.append(kDeltaMagic, sizeof(kDeltaMagic));
+  DeltaAppendPod<uint32_t>(&content, kCorpusDeltaVersion);
+  DeltaAppendPod<uint32_t>(&content, kDeltaEndianProbe);
+  DeltaAppendPod<uint64_t>(&content, delta.base_recipes);
+  DeltaAppendPod<uint64_t>(&content, delta.base_fingerprint);
+  DeltaAppendPod<uint64_t>(&content,
+                           static_cast<uint64_t>(delta.records.size()));
+  DeltaAppendPod<uint64_t>(&content,
+                           DeltaFnv1a(payload.data(), payload.size()));
+  content += payload;
+
+  AtomicWriteOptions write_options;
+  write_options.sync = options.sync;
+  return WriteFileAtomic(path, content, write_options);
+}
+
+Result<CorpusDelta> LoadCorpusDelta(const std::string& path) {
+  CULEVO_FAILPOINT("corpus.delta.read");
+  if (::access(path.c_str(), F_OK) != 0) {
+    return Status::NotFound("delta file not found: " + path);
+  }
+  Result<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  const std::string_view bytes = *content;
+
+  size_t cursor = 0;
+  char magic[sizeof(kDeltaMagic)];
+  if (bytes.size() < sizeof(magic) ||
+      std::memcmp(bytes.data(), kDeltaMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument(path + " is not a CULEVO-DELTA file");
+  }
+  cursor += sizeof(magic);
+  uint32_t version = 0;
+  uint32_t endian = 0;
+  CorpusDelta delta;
+  uint64_t record_count = 0;
+  uint64_t checksum = 0;
+  if (!DeltaReadPod(bytes, &cursor, &version) ||
+      !DeltaReadPod(bytes, &cursor, &endian) ||
+      !DeltaReadPod(bytes, &cursor, &delta.base_recipes) ||
+      !DeltaReadPod(bytes, &cursor, &delta.base_fingerprint) ||
+      !DeltaReadPod(bytes, &cursor, &record_count) ||
+      !DeltaReadPod(bytes, &cursor, &checksum)) {
+    return Status::DataLoss(path + ": truncated delta header");
+  }
+  if (version != kCorpusDeltaVersion) {
+    return Status::FailedPrecondition(
+        StrFormat("%s: delta format version %u, this build reads %u",
+                  path.c_str(), version, kCorpusDeltaVersion));
+  }
+  if (endian != kDeltaEndianProbe) {
+    return Status::FailedPrecondition(
+        path + ": delta written with a different byte order");
+  }
+  if (DeltaFnv1a(bytes.data() + cursor, bytes.size() - cursor) != checksum) {
+    return Status::DataLoss(path + ": delta payload checksum mismatch");
+  }
+
+  delta.records.reserve(record_count);
+  for (uint64_t r = 0; r < record_count; ++r) {
+    CorpusDeltaRecord record;
+    uint8_t cuisine = 0;
+    uint32_t count = 0;
+    if (!DeltaReadPod(bytes, &cursor, &cuisine) ||
+        !DeltaReadPod(bytes, &cursor, &count)) {
+      return Status::DataLoss(path + ": truncated delta record");
+    }
+    if (cuisine >= kNumCuisines) {
+      return Status::DataLoss(
+          StrFormat("%s: delta record cuisine id %d out of range",
+                    path.c_str(), static_cast<int>(cuisine)));
+    }
+    record.cuisine = static_cast<CuisineId>(cuisine);
+    record.ingredients.resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      if (!DeltaReadPod(bytes, &cursor, &record.ingredients[i])) {
+        return Status::DataLoss(path + ": truncated delta record");
+      }
+    }
+    delta.records.push_back(std::move(record));
+  }
+  if (cursor != bytes.size()) {
+    return Status::DataLoss(path + ": trailing bytes after delta records");
+  }
+  return delta;
 }
 
 }  // namespace culevo

@@ -168,6 +168,55 @@ class IncrementalCorpus {
   SnapshotWriter::Dirty delta_;
 };
 
+/// `CULEVO-DELTA 1` — the incremental-reload delta container.
+///
+/// A delta file is a batch of appended recipes pinned to the exact corpus
+/// generation it extends: `base_recipes` and `base_fingerprint` must match
+/// the serving corpus or the consumer refuses the file. Applying a delta
+/// is IncrementalCorpus::FromCorpus(base) + Add() per record, so the
+/// result is bit-identical to re-ingesting the combined corpus from
+/// scratch — a service can swap in the next generation without re-reading
+/// its full snapshot (see ServiceCore::ReloadDelta).
+///
+/// Refusal contract (mirrors the snapshot container's):
+///   - missing file                                -> NotFound
+///   - not a delta (bad magic)                     -> InvalidArgument
+///   - newer format version / wrong endianness     -> FailedPrecondition
+///   - truncated file or payload checksum mismatch -> DataLoss
+///   - base mismatch is the *caller's* refusal (the file itself is fine):
+///     ServiceCore::ReloadDelta maps it to FailedPrecondition.
+
+/// Delta format version this build reads and writes.
+inline constexpr uint32_t kCorpusDeltaVersion = 1;
+
+/// One appended recipe.
+struct CorpusDeltaRecord {
+  CuisineId cuisine = 0;
+  std::vector<IngredientId> ingredients;
+};
+
+/// A batch of appends against one specific base corpus generation.
+struct CorpusDelta {
+  uint64_t base_recipes = 0;      ///< num_recipes() of the base corpus.
+  uint64_t base_fingerprint = 0;  ///< CorpusContentFingerprint of the base.
+  std::vector<CorpusDeltaRecord> records;
+};
+
+/// Content identity of a corpus: FNV-1a-64 over the CSR columns
+/// (flat, offsets, cuisines). Two corpora with equal fingerprints hold
+/// byte-identical recipe data regardless of how they were built (snapshot
+/// load, synthesis, incremental materialization). This is what a delta's
+/// `base_fingerprint` pins.
+uint64_t CorpusContentFingerprint(const RecipeCorpus& corpus);
+
+/// Serializes and atomically writes `delta` (WriteFileAtomic underneath,
+/// like the snapshot writer).
+Status WriteCorpusDelta(const std::string& path, const CorpusDelta& delta,
+                        const SnapshotWriteOptions& options = {});
+
+/// Reads and verifies a delta file. See the refusal contract above.
+Result<CorpusDelta> LoadCorpusDelta(const std::string& path);
+
 }  // namespace culevo
 
 #endif  // CULEVO_CORPUS_INGESTION_H_

@@ -134,6 +134,14 @@ Result<FabricReport> RunWorkerFabric(
   FabricReport report;
   report.workers = n;
 
+  // One estimator across all shards: units are round-robin sharded, so
+  // every worker sees the same unit population and one per-unit rhythm
+  // describes them all (and slow workloads pool their samples faster).
+  StallEstimator stall_estimator(options.stall_ms,
+                                 options.adaptive_stall_multiplier);
+  static obs::Gauge* stall_cutoff_gauge =
+      obs::MetricsRegistry::Get().gauge("exec.stall_cutoff_ms");
+
   const auto kill_all = [&shards] {
     for (ShardState& shard : shards) {
       if (shard.running) {
@@ -256,18 +264,31 @@ Result<FabricReport> RunWorkerFabric(
         const int64_t bytes = ShardProgressBytes(
             options.checkpoint_dir, StrFormat(".shard%d.", s));
         if (bytes != shard.last_bytes) {
+          // A growth event. The gap since the previous one (not the one
+          // following the spawn, which measures process startup) feeds
+          // the adaptive cutoff.
+          if (shard.last_bytes >= 0) {
+            stall_estimator.ObserveGrowthGap(
+                std::chrono::duration<double, std::milli>(
+                    Clock::now() - shard.last_change)
+                    .count());
+            stall_cutoff_gauge->Set(
+                static_cast<double>(stall_estimator.CutoffMs()));
+          }
           shard.last_bytes = bytes;
           shard.last_change = Clock::now();
-        } else if (Clock::now() - shard.last_change >
-                   std::chrono::milliseconds(options.stall_ms)) {
+        } else if (const int64_t cutoff_ms = stall_estimator.CutoffMs();
+                   Clock::now() - shard.last_change >
+                   std::chrono::milliseconds(cutoff_ms)) {
           metrics.worker_stalls->Increment();
           shard.process.Kill();
           shard.process = Subprocess();
           CULEVO_RETURN_IF_ERROR(on_worker_death(
               s, Status::DeadlineExceeded(StrFormat(
                      "worker shard %d stalled: no journal progress in "
-                     "%d ms",
-                     s, options.stall_ms))));
+                     "%lld ms (floor %d ms, growth EMA %.1f ms)",
+                     s, static_cast<long long>(cutoff_ms), options.stall_ms,
+                     stall_estimator.ema_ms()))));
         }
       }
     }

@@ -12,6 +12,7 @@
 //
 //   culevod --socket /tmp/culevod.sock --load-snapshot corpus.snap
 //   culevod --socket /tmp/culevod.sock --scale 0.25 --seed 42   (synth)
+//   culevod --supervise --socket ... --load-snapshot ...   (HA serving)
 //   culevod --once < requests.txt                 (stdin/stdout, no socket)
 //   culevod --client /tmp/culevod.sock < requests.txt
 //   culevod --client /tmp/culevod.sock "overrep ITA 5"
@@ -20,8 +21,18 @@
 // deadline; --max-inflight <n> admission-control cap;
 // --client-read-timeout-ms <n> per-connection frame-read deadline (a
 // client stalling mid-frame is disconnected, serve.client_timeouts);
-// --metrics dumps the metrics registry as JSON on exit (serve.* counters
-// and latency histograms).
+// --delta-path <file> makes SIGHUP apply that CULEVO-DELTA file to the
+// serving generation (hot incremental reload) instead of re-reading the
+// full snapshot; --brownout-latency-ms <n> enables the latency half of
+// the brownout detector; --metrics dumps the metrics registry as JSON on
+// exit (serve.* counters and latency histograms).
+//
+// --supervise re-runs this binary as a supervised child (the same argv
+// minus the supervisor flags) and restarts it on crash or probe stall;
+// see service/supervisor.h. Supervisor-only flags: --pidfile <path>,
+// --probe-interval-ms, --probe-timeout-ms, --probe-failures,
+// --startup-grace-ms, --restart-backoff-ms, --restart-backoff-cap-ms,
+// --backoff-seed, --max-restarts, --silence-child.
 
 #include <chrono>
 #include <cstring>
@@ -40,6 +51,7 @@
 #include "service/protocol.h"
 #include "service/server.h"
 #include "service/service_core.h"
+#include "service/supervisor.h"
 #include "synth/generator.h"
 #include "util/flags.h"
 #include "util/signal.h"
@@ -147,10 +159,76 @@ int RunClient(const std::string& socket_path,
   return rc;
 }
 
-/// Server mode: accept loop until SIGINT/SIGTERM, SIGHUP reloads the
-/// snapshot file in place.
+/// `--supervise`: re-exec this binary (argv minus the supervisor-only
+/// flags) as the serving child and keep it alive; see
+/// service/supervisor.h.
+int RunSupervisor(int argc, char** argv, const FlagParser& flags) {
+  SupervisorOptions options;
+  options.socket_path = flags.GetString("socket", "");
+  if (options.socket_path.empty()) return Usage();
+  options.probe_interval_ms =
+      static_cast<int>(flags.GetInt("probe-interval-ms", 1000));
+  options.probe_timeout_ms =
+      static_cast<int>(flags.GetInt("probe-timeout-ms", 1000));
+  options.probe_failures_to_kill =
+      static_cast<int>(flags.GetInt("probe-failures", 3));
+  options.startup_grace_ms =
+      static_cast<int>(flags.GetInt("startup-grace-ms", 10000));
+  options.restart_backoff_ms =
+      static_cast<int>(flags.GetInt("restart-backoff-ms", 200));
+  options.restart_backoff_cap_ms =
+      static_cast<int>(flags.GetInt("restart-backoff-cap-ms", 2000));
+  options.backoff_seed =
+      static_cast<uint64_t>(flags.GetInt("backoff-seed", 0));
+  options.max_restarts =
+      static_cast<int>(flags.GetInt("max-restarts", -1));
+  options.pidfile = flags.GetString("pidfile", "");
+  options.silence_child = flags.GetBool("silence-child", false);
+  options.cancel = &GlobalCancel();
+
+  // The child's argv is this invocation minus everything only the
+  // supervisor consumes. Flag values follow FlagParser's rule: a
+  // flag without '=' swallows the next token unless it starts with "--".
+  const auto is_supervisor_flag = [](const std::string& name) {
+    return name == "--supervise" || name == "--pidfile" ||
+           name == "--probe-interval-ms" || name == "--probe-timeout-ms" ||
+           name == "--probe-failures" || name == "--startup-grace-ms" ||
+           name == "--restart-backoff-ms" ||
+           name == "--restart-backoff-cap-ms" || name == "--backoff-seed" ||
+           name == "--max-restarts" || name == "--silence-child";
+  };
+  options.child_argv.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string name = arg.substr(0, arg.find('='));
+    if (is_supervisor_flag(name)) {
+      if (arg.find('=') == std::string::npos && i + 1 < argc &&
+          !StartsWith(argv[i + 1], "--")) {
+        ++i;  // the flag's value token
+      }
+      continue;
+    }
+    options.child_argv.push_back(arg);
+  }
+
+  InstallReloadHandler();  // forwarded to the child, not handled here
+  Result<SupervisorReport> report = SuperviseServer(options);
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
+    return 1;
+  }
+  std::cerr << "culevod supervisor done: " << report->restarts
+            << " restart(s), " << report->probe_failures
+            << " failed probe(s)\n";
+  return 0;
+}
+
+/// Server mode: accept loop until SIGINT/SIGTERM. SIGHUP applies the
+/// --delta-path CULEVO-DELTA file to the serving generation when given
+/// (hot incremental reload), and re-reads the full snapshot otherwise.
 int RunServer(ServiceCore& core, const FlagParser& flags) {
   const std::string snapshot_path = flags.GetString("load-snapshot", "");
+  const std::string delta_path = flags.GetString("delta-path", "");
   ServerOptions server_options;
   server_options.socket_path = flags.GetString("socket", "");
   server_options.threads = static_cast<int>(flags.GetInt("threads", 4));
@@ -170,16 +248,21 @@ int RunServer(ServiceCore& core, const FlagParser& flags) {
   while (!GlobalCancel().ShouldStop()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
     if (!ConsumeReloadRequest()) continue;
-    if (snapshot_path.empty()) {
-      std::cerr << "SIGHUP ignored: no --load-snapshot path to reload\n";
+    if (snapshot_path.empty() && delta_path.empty()) {
+      std::cerr << "SIGHUP ignored: no --load-snapshot or --delta-path to "
+                   "reload\n";
       continue;
     }
     // A failed reload keeps the previous generation serving; the error
     // only lands in the log and serve.reload_failures.
-    if (Status s = core.LoadFromFile(snapshot_path); !s.ok()) {
+    const std::string& source =
+        !delta_path.empty() ? delta_path : snapshot_path;
+    Status s = !delta_path.empty() ? core.ReloadDelta(delta_path)
+                                   : core.LoadFromFile(snapshot_path);
+    if (!s.ok()) {
       std::cerr << "reload failed: " << s << "\n";
     } else {
-      std::cerr << "reloaded " << snapshot_path << " (epoch "
+      std::cerr << "reloaded " << source << " (epoch "
                 << core.Acquire()->epoch << ")\n";
     }
   }
@@ -202,11 +285,19 @@ int main(int argc, char** argv) {
   }
 
   InstallCancelHandlers(&GlobalCancel());
+  // A client closing mid-response must cost one connection, not the
+  // process (the write path sees EPIPE instead of a fatal SIGPIPE).
+  IgnoreSigPipe();
+
+  if (flags.GetBool("supervise", false)) {
+    return RunSupervisor(argc, argv, flags);
+  }
 
   ServiceOptions options;
   options.default_deadline_ms = flags.GetInt("deadline-ms", 250);
   options.max_inflight =
       static_cast<int>(flags.GetInt("max-inflight", 256));
+  options.brownout_latency_ms = flags.GetDouble("brownout-latency-ms", 0);
   ServiceCore core(&WorldLexicon(), options);
   if (Status s = InstallInitial(core, flags); !s.ok()) {
     std::cerr << s << "\n";

@@ -9,8 +9,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "obs/metrics.h"
 #include "service/protocol.h"
+#include "util/signal.h"
 #include "util/strings.h"
 
 namespace culevo {
@@ -39,6 +44,9 @@ Status SocketServer::Start() {
   if (running()) {
     return Status::FailedPrecondition("server already started");
   }
+  // A client that closes mid-response must not kill the server: the
+  // response write has to fail with EPIPE, not raise a fatal SIGPIPE.
+  IgnoreSigPipe();
   struct sockaddr_un addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sun_family = AF_UNIX;
@@ -109,10 +117,35 @@ void SocketServer::Stop() {
 void SocketServer::WorkerLoop() {
   static obs::Counter* accepts =
       obs::MetricsRegistry::Get().counter("serve.connections");
+  static obs::Counter* accept_errors =
+      obs::MetricsRegistry::Get().counter("serve.accept_errors");
+  // Resource-exhaustion backoff: EMFILE/ENFILE (and kin) mean the fd
+  // table is full *right now* — accept() will keep failing until some
+  // connection closes, so a worker that retried immediately would spin a
+  // core doing nothing. Bounded exponential backoff, capped below the
+  // poll tick so Stop() stays responsive; resets on any success.
+  constexpr int kErrorBackoffBaseMs = 5;
+  constexpr int kErrorBackoffCapMs = 160;
+  int error_backoff_ms = kErrorBackoffBaseMs;
   while (!stopping_.load(std::memory_order_relaxed)) {
     if (!PollReadable(listen_fd_)) continue;
     const int conn = ::accept(listen_fd_, nullptr, nullptr);
-    if (conn < 0) continue;  // EAGAIN: another worker won the race.
+    if (conn < 0) {
+      // EAGAIN: another worker won the race. EINTR/ECONNABORTED: the
+      // kernel withdrew this connection, nothing is wrong.
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+          errno == ECONNABORTED) {
+        continue;
+      }
+      // EMFILE/ENFILE/ENOBUFS/ENOMEM and anything else transient: count
+      // it, back off, keep serving. fd exhaustion is load, not a bug.
+      accept_errors->Increment();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(error_backoff_ms));
+      error_backoff_ms = std::min(error_backoff_ms * 2, kErrorBackoffCapMs);
+      continue;
+    }
+    error_backoff_ms = kErrorBackoffBaseMs;
     accepts->Increment();
     ServeConnection(conn);
     ::close(conn);

@@ -10,10 +10,11 @@
 #include "core/simulation.h"
 #include "corpus/corpus_snapshot.h"
 #include "corpus/cuisine.h"
+#include "corpus/ingestion.h"
 #include "obs/metrics.h"
-#include "obs/scoped_timer.h"
 #include "util/cancel.h"
 #include "util/failpoint.h"
+#include "util/stopwatch.h"
 #include "util/strings.h"
 
 namespace culevo {
@@ -110,6 +111,21 @@ std::string RenderOk(const std::vector<std::string>& rows) {
 
 std::string RenderError(const Status& status) {
   return "error " + status.ToString() + "\n";
+}
+
+/// Brownout rejection: the error line plus a machine-readable retry hint
+/// row, so clients can back off instead of hammering an overloaded server.
+std::string RenderErrorWithRetry(const Status& status, int64_t retry_ms) {
+  return RenderError(status) +
+         StrFormat("retry-after-ms\t%lld\n",
+                   static_cast<long long>(retry_ms));
+}
+
+/// The expensive request classes brownout sheds first: `simulate` runs
+/// full generate+mine replicas, `search` walks postings intersections.
+/// Everything else is a point lookup into precomputed tables.
+bool IsExpensiveCommand(const std::string& command) {
+  return command == "simulate" || command == "search";
 }
 
 Result<CuisineId> CuisineArg(const ParsedRequest& request, size_t pos) {
@@ -381,7 +397,35 @@ Result<std::vector<std::string>> HandleInfo(const ServiceSnapshot& snapshot) {
       StrFormat("source\t%s", snapshot.source.c_str()),
       StrFormat("recipes\t%zu", snapshot.corpus.num_recipes()),
       StrFormat("mentions\t%zu", snapshot.corpus.total_mentions()),
-      StrFormat("cuisines\t%zu", populated)};
+      StrFormat("cuisines\t%zu", populated),
+      StrFormat("fingerprint\t%016llx",
+                static_cast<unsigned long long>(
+                    snapshot.content_fingerprint))};
+}
+
+/// `metrics` — the full registry, one row per metric. Counters and gauges
+/// render their value; histograms render count/mean/p50/p99. Admin
+/// introspection (the soak harness reads corpus.snapshot.mmap_loads here),
+/// so the rows are not subject to max_results.
+std::vector<std::string> HandleMetrics() {
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Get().Snapshot();
+  std::vector<std::string> rows;
+  rows.reserve(snapshot.size());
+  for (const auto& [name, value] : snapshot.counters) {
+    rows.push_back(StrFormat("counter\t%s\t%lld", name.c_str(),
+                             static_cast<long long>(value)));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    rows.push_back(StrFormat("gauge\t%s\t%s", name.c_str(),
+                             Num(value).c_str()));
+  }
+  for (const auto& [name, stats] : snapshot.histograms) {
+    rows.push_back(StrFormat(
+        "hist\t%s\t%lld\t%s\t%s\t%s", name.c_str(),
+        static_cast<long long>(stats.count), Num(stats.mean()).c_str(),
+        Num(stats.Quantile(0.5)).c_str(), Num(stats.Quantile(0.99)).c_str()));
+  }
+  return rows;
 }
 
 Result<std::vector<std::string>> Dispatch(const Lexicon& lexicon,
@@ -442,6 +486,17 @@ class InflightGuard {
 
 }  // namespace
 
+bool ShouldShedExpensive(const ServiceOptions& options, int inflight,
+                         double latency_ema_ms) {
+  if (options.brownout_inflight_fraction > 0 &&
+      static_cast<double>(inflight) >
+          options.brownout_inflight_fraction * options.max_inflight) {
+    return true;
+  }
+  return options.brownout_latency_ms > 0 &&
+         latency_ema_ms > options.brownout_latency_ms;
+}
+
 ServiceCore::ServiceCore(const Lexicon* lexicon, ServiceOptions options)
     : lexicon_(lexicon), options_(options) {}
 
@@ -466,6 +521,7 @@ Status ServiceCore::LoadFromFile(const std::string& path) {
     next->stats = std::move(loaded->stats);
     next->index = QueryIndex::Build(next->corpus);
     next->source = path;
+    next->content_fingerprint = CorpusContentFingerprint(next->corpus);
     return Install(std::move(next));
   }();
   if (status.ok()) {
@@ -476,10 +532,70 @@ Status ServiceCore::LoadFromFile(const std::string& path) {
   return status;
 }
 
+Status ServiceCore::ReloadDelta(const std::string& path) {
+  static obs::Counter* reloads =
+      obs::MetricsRegistry::Get().counter("serve.reloads");
+  static obs::Counter* delta_reloads =
+      obs::MetricsRegistry::Get().counter("serve.delta_reloads");
+  static obs::Counter* reload_failures =
+      obs::MetricsRegistry::Get().counter("serve.reload_failures");
+  // Every stage of the swap is failpoint-armable and every failure path
+  // returns before Install, so the old generation keeps serving no matter
+  // where the swap dies.
+  Status status = [&]() -> Status {
+    CULEVO_FAILPOINT("serve.reload");
+    const std::shared_ptr<const ServiceSnapshot> current = Acquire();
+    if (current == nullptr) {
+      return Status::FailedPrecondition(
+          "no generation installed to apply a delta to");
+    }
+    CULEVO_FAILPOINT("serve.reload.delta.read");
+    Result<CorpusDelta> delta = LoadCorpusDelta(path);
+    if (!delta.ok()) return delta.status();
+    if (delta->base_recipes != current->corpus.num_recipes() ||
+        delta->base_fingerprint != current->content_fingerprint) {
+      return Status::FailedPrecondition(StrFormat(
+          "delta base mismatch: %s extends %llu recipes / fingerprint "
+          "%016llx, serving generation has %zu / %016llx",
+          path.c_str(),
+          static_cast<unsigned long long>(delta->base_recipes),
+          static_cast<unsigned long long>(delta->base_fingerprint),
+          current->corpus.num_recipes(),
+          static_cast<unsigned long long>(current->content_fingerprint)));
+    }
+    CULEVO_FAILPOINT("serve.reload.delta.apply");
+    IncrementalCorpus incremental =
+        IncrementalCorpus::FromCorpus(current->corpus, current->stats);
+    for (const CorpusDeltaRecord& record : delta->records) {
+      CULEVO_RETURN_IF_ERROR(
+          incremental.Add(record.cuisine, record.ingredients));
+    }
+    Result<RecipeCorpus> corpus = incremental.Materialize();
+    if (!corpus.ok()) return corpus.status();
+    auto next = std::make_shared<ServiceSnapshot>();
+    next->stats = incremental.stats();
+    CULEVO_FAILPOINT("serve.reload.index");
+    next->index = QueryIndex::Build(*corpus);
+    next->corpus = std::move(*corpus);
+    next->source = current->source + "+" + path;
+    next->content_fingerprint = CorpusContentFingerprint(next->corpus);
+    CULEVO_FAILPOINT("serve.reload.install");
+    return Install(std::move(next));
+  }();
+  if (status.ok()) {
+    reloads->Increment();
+    delta_reloads->Increment();
+  } else {
+    reload_failures->Increment();
+  }
+  return status;
+}
+
 Status ServiceCore::InstallCorpus(RecipeCorpus corpus, std::string source) {
   auto next = std::make_shared<ServiceSnapshot>();
   next->stats = ComputeCuisineStats(corpus);
   next->index = QueryIndex::Build(corpus);
+  next->content_fingerprint = CorpusContentFingerprint(corpus);
   next->corpus = std::move(corpus);
   next->source = std::move(source);
   return Install(std::move(next));
@@ -490,6 +606,25 @@ std::shared_ptr<const ServiceSnapshot> ServiceCore::Acquire() const {
   return snapshot_;
 }
 
+void ServiceCore::RecordLatency(double elapsed_ms) {
+  static obs::Histogram* latency =
+      obs::MetricsRegistry::Get().histogram("serve.latency_ms");
+  static obs::Gauge* ema_gauge =
+      obs::MetricsRegistry::Get().gauge("serve.latency_ema_ms");
+  latency->Record(elapsed_ms);
+  double prev = latency_ema_ms_.load(std::memory_order_relaxed);
+  double next;
+  do {
+    // The first sample seeds the EMA directly so the detector does not
+    // have to climb from zero through a cold-start window.
+    next = prev <= 0 ? elapsed_ms
+                     : options_.latency_ema_alpha * elapsed_ms +
+                           (1 - options_.latency_ema_alpha) * prev;
+  } while (!latency_ema_ms_.compare_exchange_weak(
+      prev, next, std::memory_order_relaxed));
+  ema_gauge->Set(next);
+}
+
 std::string ServiceCore::Handle(std::string_view request) {
   static obs::Counter* requests =
       obs::MetricsRegistry::Get().counter("serve.requests");
@@ -497,8 +632,12 @@ std::string ServiceCore::Handle(std::string_view request) {
       obs::MetricsRegistry::Get().counter("serve.rejects");
   static obs::Counter* errors =
       obs::MetricsRegistry::Get().counter("serve.errors");
-  static obs::Histogram* latency =
-      obs::MetricsRegistry::Get().histogram("serve.latency_ms");
+  static obs::Counter* deadline_drops =
+      obs::MetricsRegistry::Get().counter("serve.deadline_drops");
+  static obs::Counter* brownout_sheds =
+      obs::MetricsRegistry::Get().counter("serve.brownout.sheds");
+  static obs::Gauge* brownout_active =
+      obs::MetricsRegistry::Get().gauge("serve.brownout.active");
   static obs::Gauge* inflight_gauge =
       obs::MetricsRegistry::Get().gauge("serve.inflight");
 
@@ -510,12 +649,34 @@ std::string ServiceCore::Handle(std::string_view request) {
         StrFormat("over capacity: %d requests in flight (max %d)",
                   guard.entered(), options_.max_inflight)));
   }
-  const obs::ScopedTimer timer(latency);
+  const Stopwatch timer;
 
   Result<ParsedRequest> parsed = ParseRequest(request);
   if (!parsed.ok()) {
     errors->Increment();
     return RenderError(parsed.status());
+  }
+
+  // Admin requests: exempt from brownout (an overloaded server must stay
+  // introspectable and reloadable); `metrics` needs no snapshot at all.
+  if (parsed->command == "metrics") {
+    return RenderOk(HandleMetrics());
+  }
+  if (parsed->command == "reload-delta") {
+    if (parsed->positional.empty()) {
+      errors->Increment();
+      return RenderError(Status::InvalidArgument("missing delta path"));
+    }
+    if (Status s = ReloadDelta(parsed->positional[0]); !s.ok()) {
+      errors->Increment();
+      return RenderError(s);
+    }
+    const std::shared_ptr<const ServiceSnapshot> swapped = Acquire();
+    RecordLatency(timer.ElapsedMillis());
+    return RenderOk(
+        {StrFormat("epoch\t%llu",
+                   static_cast<unsigned long long>(swapped->epoch)),
+         StrFormat("recipes\t%zu", swapped->corpus.num_recipes())});
   }
 
   // Per-request deadline: the service default, tightened (never widened)
@@ -545,8 +706,26 @@ std::string ServiceCore::Handle(std::string_view request) {
     // Admission-time deadline rejection: do not start work that cannot
     // finish in time.
     rejects->Increment();
+    deadline_drops->Increment();
     return RenderError(Status::DeadlineExceeded(
         "deadline expired before the request was admitted"));
+  }
+
+  // Brownout: shed the expensive classes before touching the snapshot or
+  // doing any work, leaving the headroom to cheap point lookups.
+  if (IsExpensiveCommand(parsed->command)) {
+    if (ShouldShedExpensive(options_, guard.entered(), latency_ema_ms())) {
+      brownout_active->Set(1.0);
+      brownout_sheds->Increment();
+      rejects->Increment();
+      return RenderErrorWithRetry(
+          Status::Unavailable(StrFormat(
+              "shedding expensive '%s' under overload (%d in flight, "
+              "latency EMA %.3f ms)",
+              parsed->command.c_str(), guard.entered(), latency_ema_ms())),
+          options_.brownout_retry_after_ms);
+    }
+    brownout_active->Set(0.0);
   }
 
   const std::shared_ptr<const ServiceSnapshot> snapshot = Acquire();
@@ -558,6 +737,7 @@ std::string ServiceCore::Handle(std::string_view request) {
 
   Result<std::vector<std::string>> rows =
       Dispatch(*lexicon_, options_, *parsed, *snapshot, cancel);
+  RecordLatency(timer.ElapsedMillis());
   if (!rows.ok()) {
     errors->Increment();
     return RenderError(rows.status());

@@ -30,7 +30,33 @@ struct ServiceOptions {
   /// Upper bound on `simulate` replicas (each replica is a full
   /// generate+mine cycle — the one expensive query).
   int max_simulate_replicas = 8;
+
+  /// Brownout (graceful degradation): under overload the expensive
+  /// request classes (`simulate`, `search`) are shed with Unavailable +
+  /// a `retry-after-ms` hint while cheap point lookups keep being served.
+  /// Overload is either trigger below; see ShouldShedExpensive.
+  ///
+  /// Inflight trigger: shed expensive requests once more than
+  /// `brownout_inflight_fraction * max_inflight` requests are executing
+  /// (the remaining headroom is reserved for cheap lookups). <= 0
+  /// disables.
+  double brownout_inflight_fraction = 0.75;
+  /// Latency trigger: shed expensive requests while the rolling
+  /// latency EMA exceeds this. <= 0 disables (the default — enable it
+  /// alongside an SLO, e.g. half the default deadline).
+  double brownout_latency_ms = 0;
+  /// Smoothing factor of the rolling latency EMA (weight of the newest
+  /// sample); the EMA is also exported as `serve.latency_ema_ms`.
+  double latency_ema_alpha = 0.2;
+  /// The retry hint attached to brownout rejections.
+  int64_t brownout_retry_after_ms = 50;
 };
+
+/// Pure brownout predicate (exposed for tests): true when an expensive
+/// request arriving with `inflight` requests executing and a rolling
+/// latency EMA of `latency_ema_ms` must be shed under `options`.
+bool ShouldShedExpensive(const ServiceOptions& options, int inflight,
+                         double latency_ema_ms);
 
 /// One immutable generation of the service's data: the corpus, its
 /// precomputed stats, and the derived query indexes. Swapped wholesale on
@@ -42,6 +68,9 @@ struct ServiceSnapshot {
   QueryIndex index;
   uint64_t epoch = 0;      ///< Monotonic install counter.
   std::string source;      ///< Snapshot path or "<synthetic>".
+  /// CorpusContentFingerprint of `corpus`: the identity a reload-delta's
+  /// base must match (see ReloadDelta).
+  uint64_t content_fingerprint = 0;
 };
 
 /// The transport-independent query engine behind `culevod`.
@@ -52,6 +81,7 @@ struct ServiceSnapshot {
 ///
 ///   ping
 ///   info
+///   metrics
 ///   stats   <CUISINE>
 ///   overrep <CUISINE> [k]
 ///   nearest <CUISINE> [k]
@@ -59,12 +89,19 @@ struct ServiceSnapshot {
 ///   recipe  <index>
 ///   search  <ingredient>[,<ingredient>...] [cuisine=CODE] [limit=N]
 ///   simulate <CUISINE> <CM-R|CM-C|CM-M|NM> [replicas=N] [seed=N]
+///   reload-delta <path>
 ///
 /// Any request accepts `deadline_ms=N` to tighten its deadline below the
 /// service default. Responses: first line `ok [rows]` or
 /// `error <Status>`, then one row per line, tab-separated; doubles are
 /// rendered with %.17g so round-tripping them is lossless (the values are
 /// bit-identical to the batch analysis entry points on the same corpus).
+/// Brownout rejections carry one extra row, `retry-after-ms\t<N>`.
+///
+/// `metrics` and `reload-delta` are admin requests: they are exempt from
+/// brownout shedding, and `metrics` works before any corpus is installed.
+/// `reload-delta` paths must not contain spaces or '=' (both would split
+/// under the token grammar).
 ///
 /// Concurrency: Handle() is safe from any number of threads. Each request
 /// acquires the current snapshot once (RCU-style: one mutex-guarded
@@ -72,9 +109,12 @@ struct ServiceSnapshot {
 /// concurrent Reload never fails or torn-reads an in-flight request.
 ///
 /// Metrics: serve.requests, serve.rejects, serve.errors,
-/// serve.latency_ms, serve.inflight, serve.reloads,
-/// serve.reload_failures, serve.index.build_ms.
-/// Failpoint: serve.reload (fires before a reload touches the file).
+/// serve.latency_ms, serve.latency_ema_ms, serve.inflight, serve.reloads,
+/// serve.delta_reloads, serve.reload_failures, serve.deadline_drops,
+/// serve.brownout.sheds, serve.brownout.active, serve.index.build_ms.
+/// Failpoints: serve.reload (before any reload touches its file), plus
+/// the staged delta-swap points serve.reload.delta.read,
+/// serve.reload.delta.apply, serve.reload.index, serve.reload.install.
 class ServiceCore {
  public:
   ServiceCore(const Lexicon* lexicon, ServiceOptions options);
@@ -83,6 +123,15 @@ class ServiceCore {
   /// installs the new generation. On any failure the previous generation
   /// stays installed and keeps serving (serve.reload_failures counts it).
   Status LoadFromFile(const std::string& path);
+
+  /// Builds the next generation from the *current* generation's corpus
+  /// plus a CULEVO-DELTA file — no snapshot re-read (the hot incremental
+  /// reload; `corpus.snapshot.mmap_loads` stays flat). The delta's base
+  /// recipe count and content fingerprint must match the serving
+  /// generation exactly; any mismatch is refused with FailedPrecondition.
+  /// Like LoadFromFile, any failure at any stage of the swap leaves the
+  /// old generation serving.
+  Status ReloadDelta(const std::string& path);
 
   /// Installs an in-memory corpus (tests, benches, --synth mode).
   Status InstallCorpus(RecipeCorpus corpus, std::string source);
@@ -96,8 +145,15 @@ class ServiceCore {
 
   const ServiceOptions& options() const { return options_; }
 
+  /// Rolling request-latency EMA in milliseconds (0 until the first
+  /// completed request). The latency half of the brownout detector.
+  double latency_ema_ms() const {
+    return latency_ema_ms_.load(std::memory_order_relaxed);
+  }
+
  private:
   Status Install(std::shared_ptr<const ServiceSnapshot> next);
+  void RecordLatency(double elapsed_ms);
 
   const Lexicon* lexicon_;
   ServiceOptions options_;
@@ -107,6 +163,7 @@ class ServiceCore {
   uint64_t next_epoch_ = 1;
 
   std::atomic<int> inflight_{0};
+  std::atomic<double> latency_ema_ms_{0.0};
 };
 
 }  // namespace culevo

@@ -46,4 +46,6 @@ void RequestReloadForTest() {
   g_reload_requested.store(true, std::memory_order_relaxed);
 }
 
+void IgnoreSigPipe() { std::signal(SIGPIPE, SIG_IGN); }
+
 }  // namespace culevo

@@ -40,6 +40,12 @@ bool ConsumeReloadRequest();
 /// Testing hook: raises the flag exactly as the SIGHUP handler does.
 void RequestReloadForTest();
 
+/// Ignores SIGPIPE process-wide. A server writing a response to a client
+/// that already closed must see EPIPE from write() (one dropped
+/// connection) rather than the default fatal SIGPIPE (a dead server).
+/// Idempotent; call during startup.
+void IgnoreSigPipe();
+
 }  // namespace culevo
 
 #endif  // CULEVO_UTIL_SIGNAL_H_

@@ -104,8 +104,14 @@ TEST_F(CulevodSmokeTest, ScriptedQueriesThenCleanSigtermDrain) {
   EXPECT_EQ(Query("ping"), "ok 1\npong\n");
 
   const std::string info = Query("info");
-  EXPECT_TRUE(StartsWith(info, "ok 5\n"));
+  EXPECT_TRUE(StartsWith(info, "ok 6\n"));
   EXPECT_NE(info.find("source\t<synthetic>"), std::string::npos);
+  EXPECT_NE(info.find("fingerprint\t"), std::string::npos);
+
+  // `metrics` is served from the registry, no corpus involved.
+  const std::string metrics = Query("metrics");
+  EXPECT_TRUE(StartsWith(metrics, "ok "));
+  EXPECT_NE(metrics.find("counter\tserve.requests\t"), std::string::npos);
 
   EXPECT_TRUE(StartsWith(Query("overrep ITA 3"), "ok 3\n"));
   EXPECT_TRUE(StartsWith(Query("nearest ITA 3"), "ok 3\n"));
@@ -134,6 +140,37 @@ TEST_F(CulevodSmokeTest, ScriptedQueriesThenCleanSigtermDrain) {
 
   // The drained server unlinks its socket.
   EXPECT_NE(::access(socket_path_.c_str(), F_OK), 0);
+}
+
+// Clients that vanish mid-exchange must cost the server nothing worse
+// than an EPIPE on the response write. Without the SIGPIPE guard the
+// very first such write would kill the process (default disposition is
+// terminate), so twenty abrupt disconnects followed by one healthy
+// round trip is a sharp regression test for the guard.
+TEST_F(CulevodSmokeTest, AbruptClientDisconnectsDoNotKillServer) {
+  EXPECT_EQ(Query("ping"), "ok 1\npong\n");
+
+  for (int i = 0; i < 20; ++i) {
+    const int victim = ConnectWithRetry(socket_path_);
+    ASSERT_GE(victim, 0);
+    // A query whose response is large enough to make the server's write
+    // hit the closed socket, then hang up without reading a byte.
+    ASSERT_TRUE(WriteFrame(victim, "overrep ITA 10").ok());
+    ::close(victim);
+  }
+
+  // The server must still be alive and answering. (A SIGPIPE death
+  // would show up as a failed connect or a dead pid.)
+  ::usleep(200 * 1000);
+  ASSERT_EQ(::kill(pid_, 0), 0) << "culevod died after client hangups";
+  const int fresh = ConnectWithRetry(socket_path_);
+  ASSERT_GE(fresh, 0);
+  ASSERT_TRUE(WriteFrame(fresh, "ping").ok());
+  std::string response;
+  const Status read = ReadFrame(fresh, &response, 10000);
+  EXPECT_TRUE(read.ok()) << read;
+  EXPECT_EQ(response, "ok 1\npong\n");
+  ::close(fresh);
 }
 
 class CulevodClientTimeoutTest : public CulevodSmokeTest {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -13,7 +14,9 @@
 #include "core/null_model.h"
 #include "core/simulation.h"
 #include "corpus/corpus_snapshot.h"
+#include "corpus/ingestion.h"
 #include "lexicon/world_lexicon.h"
+#include "util/csv.h"
 #include "util/failpoint.h"
 #include "util/strings.h"
 
@@ -291,6 +294,292 @@ TEST(ServiceCoreTest, ConcurrentReadersAcrossSnapshotSwaps) {
 
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(core.Acquire()->epoch, static_cast<uint64_t>(kSwaps + 1));
+}
+
+// ---------------------------------------------------------------------------
+// Brownout (graceful degradation under overload).
+
+TEST(ServiceCoreTest, ShouldShedExpensivePredicate) {
+  ServiceOptions options;
+  options.max_inflight = 100;
+  options.brownout_inflight_fraction = 0.75;
+  options.brownout_latency_ms = 0;  // latency trigger off
+
+  // The inflight trigger fires strictly above fraction * max_inflight.
+  EXPECT_FALSE(ShouldShedExpensive(options, 75, 0.0));
+  EXPECT_TRUE(ShouldShedExpensive(options, 76, 0.0));
+
+  // Latency trigger: only above the threshold, and only when enabled.
+  options.brownout_inflight_fraction = 0;  // inflight trigger off
+  options.brownout_latency_ms = 10;
+  EXPECT_FALSE(ShouldShedExpensive(options, 1000, 9.0));
+  EXPECT_TRUE(ShouldShedExpensive(options, 0, 10.5));
+  options.brownout_latency_ms = 0;
+  EXPECT_FALSE(ShouldShedExpensive(options, 1000, 1e9));
+
+  // Either trigger alone is sufficient.
+  options.brownout_inflight_fraction = 0.5;
+  options.brownout_latency_ms = 10;
+  EXPECT_TRUE(ShouldShedExpensive(options, 51, 0.0));
+  EXPECT_TRUE(ShouldShedExpensive(options, 0, 11.0));
+  EXPECT_FALSE(ShouldShedExpensive(options, 50, 10.0));
+}
+
+TEST(ServiceCoreTest, BrownoutShedsExpensiveKeepsCheapAndAdmin) {
+  ServiceOptions options;
+  // A latency SLO so tiny that the very first completed request trips the
+  // overload detector — a deterministic brownout without real load.
+  options.brownout_latency_ms = 1e-9;
+  ServiceCore core = MakeCore(options);
+  ASSERT_TRUE(core.InstallCorpus(SmallCorpus(), "<test>").ok());
+
+  // Seed the latency EMA with one cheap request.
+  EXPECT_EQ(core.Handle("ping"), "ok 1\npong\n");
+  ASSERT_GT(core.latency_ema_ms(), 0.0);
+
+  // Expensive classes are shed with a machine-readable retry hint...
+  const std::string shed = core.Handle("simulate " + Code(kA) + " NM");
+  EXPECT_TRUE(StartsWith(shed, "error Unavailable")) << shed;
+  EXPECT_NE(shed.find("\nretry-after-ms\t50\n"), std::string::npos) << shed;
+  EXPECT_TRUE(StartsWith(core.Handle("search #2,#3"), "error Unavailable"));
+
+  // ...while cheap point lookups and admin requests keep being served.
+  EXPECT_TRUE(StartsWith(core.Handle("overrep " + Code(kA) + " 3"), "ok "));
+  EXPECT_TRUE(StartsWith(core.Handle("stats " + Code(kA)), "ok "));
+  EXPECT_TRUE(StartsWith(core.Handle("metrics"), "ok "));
+}
+
+TEST(ServiceCoreTest, BrownoutDisabledByDefaultLatencyTrigger) {
+  ServiceCore core = MakeCore();  // brownout_latency_ms defaults to 0
+  ASSERT_TRUE(core.InstallCorpus(SmallCorpus(), "<test>").ok());
+  EXPECT_EQ(core.Handle("ping"), "ok 1\npong\n");
+  EXPECT_TRUE(StartsWith(
+      core.Handle("simulate " + Code(kA) + " NM replicas=1 seed=7"
+                  " deadline_ms=60000"),
+      "ok "));
+}
+
+TEST(ServiceCoreTest, MetricsWorksWithoutSnapshot) {
+  ServiceCore core = MakeCore();
+  const std::string response = core.Handle("metrics");
+  EXPECT_TRUE(StartsWith(response, "ok ")) << response;
+  EXPECT_NE(response.find("counter\tserve.requests\t"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// CULEVO-DELTA files and the hot incremental reload.
+
+/// The delta applied on top of SmallCorpus() throughout: two new recipes.
+std::vector<CorpusDeltaRecord> DeltaRecords() {
+  return {{kA, {7, 8}}, {kB, {1, 5}}};
+}
+
+/// SmallCorpus() + DeltaRecords(), built monolithically — the ground
+/// truth a delta reload must match bit-for-bit.
+RecipeCorpus CombinedCorpus() {
+  RecipeCorpus::Builder builder;
+  EXPECT_TRUE(builder.Add(kA, {1, 2, 3}).ok());
+  EXPECT_TRUE(builder.Add(kA, {1, 2, 4}).ok());
+  EXPECT_TRUE(builder.Add(kA, {2, 5}).ok());
+  EXPECT_TRUE(builder.Add(kB, {2, 3, 6}).ok());
+  EXPECT_TRUE(builder.Add(kB, {6, 7}).ok());
+  EXPECT_TRUE(builder.Add(kA, {7, 8}).ok());
+  EXPECT_TRUE(builder.Add(kB, {1, 5}).ok());
+  return builder.Build();
+}
+
+std::string WriteDeltaFor(const RecipeCorpus& base, const std::string& tag) {
+  const std::string path =
+      testing::TempDir() + "culevo_delta_" + tag + ".bin";
+  CorpusDelta delta;
+  delta.base_recipes = base.num_recipes();
+  delta.base_fingerprint = CorpusContentFingerprint(base);
+  delta.records = DeltaRecords();
+  EXPECT_TRUE(WriteCorpusDelta(path, delta, {.sync = false}).ok());
+  return path;
+}
+
+TEST(CorpusDeltaTest, FingerprintTracksContentNotConstruction) {
+  // Identical content through different construction paths fingerprints
+  // identically; any content change perturbs it.
+  EXPECT_EQ(CorpusContentFingerprint(SmallCorpus()),
+            CorpusContentFingerprint(SmallCorpus()));
+  EXPECT_NE(CorpusContentFingerprint(SmallCorpus()),
+            CorpusContentFingerprint(OtherCorpus()));
+  EXPECT_NE(CorpusContentFingerprint(SmallCorpus()),
+            CorpusContentFingerprint(CombinedCorpus()));
+}
+
+TEST(CorpusDeltaTest, WriteLoadRoundTrip) {
+  const RecipeCorpus base = SmallCorpus();
+  const std::string path = WriteDeltaFor(base, "roundtrip");
+
+  Result<CorpusDelta> loaded = LoadCorpusDelta(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->base_recipes, base.num_recipes());
+  EXPECT_EQ(loaded->base_fingerprint, CorpusContentFingerprint(base));
+  const std::vector<CorpusDeltaRecord> expected = DeltaRecords();
+  ASSERT_EQ(loaded->records.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(loaded->records[i].cuisine, expected[i].cuisine);
+    EXPECT_EQ(loaded->records[i].ingredients, expected[i].ingredients);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CorpusDeltaTest, WriteRefusesInvalidRecords) {
+  CorpusDelta delta;
+  delta.records.push_back({kA, {}});  // empty recipe
+  EXPECT_EQ(WriteCorpusDelta(testing::TempDir() + "culevo_delta_bad.bin",
+                             delta, {.sync = false})
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CorpusDeltaTest, LoadRefusalMatrix) {
+  const std::string path = WriteDeltaFor(SmallCorpus(), "refusal");
+  Result<std::string> pristine = ReadFileToString(path);
+  ASSERT_TRUE(pristine.ok()) << pristine.status();
+  const std::string bytes = *pristine;
+
+  const auto write_bytes = [&](const std::string& data) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  };
+
+  // Missing file: NotFound (distinct from a present-but-corrupt file).
+  EXPECT_EQ(LoadCorpusDelta(path + ".absent").status().code(),
+            StatusCode::kNotFound);
+
+  // Corrupt magic: not a delta file at all.
+  std::string corrupt = bytes;
+  corrupt[0] = 'X';
+  write_bytes(corrupt);
+  EXPECT_EQ(LoadCorpusDelta(path).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Unsupported version: a delta file, but not one we can apply.
+  corrupt = bytes;
+  corrupt[8] = 99;  // u32 version at offset 8
+  write_bytes(corrupt);
+  EXPECT_EQ(LoadCorpusDelta(path).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  // Truncation: torn write.
+  write_bytes(bytes.substr(0, bytes.size() - 1));
+  EXPECT_EQ(LoadCorpusDelta(path).status().code(), StatusCode::kDataLoss);
+
+  // Payload corruption caught by the checksum.
+  corrupt = bytes;
+  corrupt[bytes.size() - 1] ^= 0x5A;
+  write_bytes(corrupt);
+  EXPECT_EQ(LoadCorpusDelta(path).status().code(), StatusCode::kDataLoss);
+
+  // The pristine bytes still load after all that.
+  write_bytes(bytes);
+  EXPECT_TRUE(LoadCorpusDelta(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ServiceCoreTest, ReloadDeltaMatchesMonolithicBuildBitExactly) {
+  ServiceCore core = MakeCore();
+  ASSERT_TRUE(core.InstallCorpus(SmallCorpus(), "base").ok());
+  const std::string path = WriteDeltaFor(SmallCorpus(), "reload");
+
+  ASSERT_TRUE(core.ReloadDelta(path).ok());
+  const std::shared_ptr<const ServiceSnapshot> swapped = core.Acquire();
+  EXPECT_EQ(swapped->epoch, 2u);
+  EXPECT_EQ(swapped->source, "base+" + path);
+  EXPECT_EQ(swapped->corpus.num_recipes(), 7u);
+  EXPECT_EQ(swapped->content_fingerprint,
+            CorpusContentFingerprint(CombinedCorpus()));
+
+  // Every query class must answer bit-identically to a core built on the
+  // monolithic combined corpus.
+  ServiceCore reference = MakeCore();
+  ASSERT_TRUE(reference.InstallCorpus(CombinedCorpus(), "base").ok());
+  const std::vector<std::string> requests = {
+      "overrep " + Code(kA) + " 5", "overrep " + Code(kB) + " 5",
+      "nearest " + Code(kA),        "stats " + Code(kA),
+      "stats " + Code(kB),          "freq " + Code(kA) + " #7",
+      "search #1,#5",               "recipe 5",
+      "recipe 6"};
+  for (const std::string& request : requests) {
+    EXPECT_EQ(core.Handle(request), reference.Handle(request)) << request;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServiceCoreTest, ReloadDeltaRefusesMismatchedBase) {
+  ServiceCore core = MakeCore();
+  ASSERT_TRUE(core.InstallCorpus(SmallCorpus(), "base").ok());
+  // A delta built against a *different* base corpus: both the recipe
+  // count and the fingerprint disagree with the serving generation.
+  const std::string path = WriteDeltaFor(OtherCorpus(), "mismatch");
+  const std::string before = core.Handle("overrep " + Code(kA) + " 3");
+
+  const Status refused = core.ReloadDelta(path);
+  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition) << refused;
+
+  // Refusal is non-destructive: same epoch, same answers.
+  EXPECT_EQ(core.Acquire()->epoch, 1u);
+  EXPECT_EQ(core.Handle("overrep " + Code(kA) + " 3"), before);
+  std::remove(path.c_str());
+}
+
+TEST(ServiceCoreTest, ReloadDeltaWithoutGenerationIsFailedPrecondition) {
+  ServiceCore core = MakeCore();
+  const std::string path = WriteDeltaFor(SmallCorpus(), "nogen");
+  EXPECT_EQ(core.ReloadDelta(path).code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+// Crash-safety of the swap itself: a fault injected at *every* stage of
+// the delta reload must leave the old generation serving unchanged, and
+// the swap must still succeed once the fault clears.
+TEST(ServiceCoreTest, ReloadDeltaFailpointAtEveryStageKeepsOldGeneration) {
+  ServiceCore core = MakeCore();
+  ASSERT_TRUE(core.InstallCorpus(SmallCorpus(), "base").ok());
+  const std::string path = WriteDeltaFor(SmallCorpus(), "stages");
+  const std::string before = core.Handle("overrep " + Code(kA) + " 3");
+
+  const std::vector<std::string> stages = {
+      "serve.reload",       "serve.reload.delta.read",
+      "corpus.delta.read",  "serve.reload.delta.apply",
+      "serve.reload.index", "serve.reload.install"};
+  for (const std::string& stage : stages) {
+    Failpoints::Get().Arm(
+        stage, {.status = Status::IOError("injected at " + stage)});
+    const Status failed = core.ReloadDelta(path);
+    Failpoints::Get().DisarmAll();
+    EXPECT_EQ(failed.code(), StatusCode::kIOError) << stage;
+    EXPECT_EQ(core.Acquire()->epoch, 1u) << stage;
+    EXPECT_EQ(core.Handle("overrep " + Code(kA) + " 3"), before) << stage;
+  }
+
+  // Fault cleared: the identical request now swaps cleanly.
+  ASSERT_TRUE(core.ReloadDelta(path).ok());
+  EXPECT_EQ(core.Acquire()->epoch, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ServiceCoreTest, ReloadDeltaThroughRequestGrammar) {
+  ServiceCore core = MakeCore();
+  ASSERT_TRUE(core.InstallCorpus(SmallCorpus(), "base").ok());
+  const std::string path = WriteDeltaFor(SmallCorpus(), "grammar");
+
+  EXPECT_TRUE(StartsWith(core.Handle("reload-delta"),
+                         "error InvalidArgument"));
+  const std::string response = core.Handle("reload-delta " + path);
+  EXPECT_EQ(response, "ok 2\nepoch\t2\nrecipes\t7\n") << response;
+
+  // A second apply of the same delta is now a base mismatch (the serving
+  // generation moved past it) — refused, still epoch 2.
+  EXPECT_TRUE(StartsWith(core.Handle("reload-delta " + path),
+                         "error FailedPrecondition"));
+  EXPECT_EQ(core.Acquire()->epoch, 2u);
+  std::remove(path.c_str());
 }
 
 }  // namespace
